@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation A5 (ours) — CPR checkpoint count: the number of rename-map
+ * checkpoints bounds the in-flight window (checkpoints x region size),
+ * which bounds how much of a miss shadow the machine can cover. Sweeps
+ * 2..16 checkpoints under the SRL configuration.
+ *
+ * Expected shape: monotone gains saturating around the paper's choice
+ * of 8 (Table 1), with 2 checkpoints severely window-limited.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Ablation: CPR checkpoint count "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    for (const unsigned n : {2u, 4u, 8u, 16u}) {
+        core::ProcessorConfig cfg = core::srlConfig();
+        cfg.checkpoints.num_checkpoints = n;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(cfg, args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(std::to_string(n) + " checkpoints", row);
+    }
+    return 0;
+}

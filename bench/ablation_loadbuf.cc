@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation A2 (ours) — secondary load buffer organization: the paper's
+ * Section 3 leaves associativity and the set-overflow policy open
+ * (small victim buffer versus taking a memory-ordering violation).
+ * This sweep quantifies both choices.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Ablation: secondary load buffer organization "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    struct Variant
+    {
+        std::string label;
+        unsigned assoc;
+        lsq::OverflowPolicy policy;
+        unsigned victims;
+    };
+    const std::vector<Variant> variants = {
+        {"4-way + victim buffer", 4, lsq::OverflowPolicy::kVictimBuffer,
+         32},
+        {"8-way + victim buffer", 8, lsq::OverflowPolicy::kVictimBuffer,
+         32},
+        {"4-way, violate on overflow", 4, lsq::OverflowPolicy::kViolate,
+         0},
+        {"8-way, violate on overflow", 8, lsq::OverflowPolicy::kViolate,
+         0},
+        {"16-way + victim buffer", 16,
+         lsq::OverflowPolicy::kVictimBuffer, 32},
+    };
+
+    for (const auto &v : variants) {
+        core::ProcessorConfig cfg = core::srlConfig();
+        cfg.load_buffer.assoc = v.assoc;
+        cfg.load_buffer.overflow = v.policy;
+        cfg.load_buffer.victim_entries = v.victims;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(cfg, args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(v.label, row);
+    }
+    return 0;
+}

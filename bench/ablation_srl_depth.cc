@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation A1 (ours) — SRL depth sweep: percent speedup over the
+ * 48-entry baseline with SRL capacities from 128 to 2048 entries.
+ * Validates the paper's Figure 7 corollary that a 1K-entry SRL is
+ * sufficient to hold all stores in the shadow of a load miss: gains
+ * should saturate at or before 1K.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Ablation: SRL depth "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    for (const unsigned depth : {128u, 256u, 512u, 1024u, 2048u}) {
+        core::ProcessorConfig cfg = core::srlConfig();
+        cfg.name = "srl-" + std::to_string(depth);
+        cfg.srl.srl.capacity = depth;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(cfg, args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(std::to_string(depth) + "-entry SRL", row);
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: argument parsing, the
+ * suite loop, and table formatting. Every bench binary reproduces one
+ * table or figure of the paper and prints the same rows/series the
+ * paper reports, alongside the paper's published values where the
+ * paper gives them (bar charts are read off the figure, so those
+ * references are approximate).
+ */
+
+#ifndef SRLSIM_BENCH_BENCH_UTIL_HH
+#define SRLSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "workload/profile.hh"
+
+namespace srl
+{
+namespace bench
+{
+
+struct BenchArgs
+{
+    std::uint64_t uops = 200000;
+    std::vector<workload::SuiteProfile> suites =
+        workload::suiteProfiles();
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--uops") == 0 && i + 1 < argc) {
+            args.uops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+            args.suites = {workload::suiteProfile(argv[++i])};
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--uops N] [--suite NAME]\n",
+                         argv[0]);
+            std::exit(1);
+        }
+    }
+    return args;
+}
+
+/** Print a header row: label column plus one column per suite. */
+inline void
+printSuiteHeader(const char *label,
+                 const std::vector<workload::SuiteProfile> &suites)
+{
+    std::printf("%-34s", label);
+    for (const auto &s : suites)
+        std::printf(" %8s", s.name.c_str());
+    std::printf("\n");
+}
+
+/** Print one series row. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-34s", label.c_str());
+    for (const double v : values)
+        std::printf(" %8.2f", v);
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace srl
+
+#endif // SRLSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 2 — Impact of store queue size for a latency tolerant
+ * processor. For each suite, percent speedup over the 48-entry-STQ
+ * baseline of monolithic store queues of 128, 256, 512 and 1024
+ * entries. Expected shape: monotone gains saturating between 256 and
+ * 1K entries, largest on the memory-bound suites (SFP2K, SERVER, WS),
+ * smallest on PROD.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Figure 2: store queue size sensitivity "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    for (const unsigned entries : {128u, 256u, 512u, 1024u}) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(core::monolithicConfig(entries),
+                                        args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(std::to_string(entries) + "-entry STQ", row);
+    }
+    return 0;
+}

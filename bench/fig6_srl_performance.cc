@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 6 — SRL performance comparison: percent speedup over the
+ * 48-entry-STQ baseline of (a) the SRL design (1K SRL + 2K LCF 3-PAX +
+ * 256x4 forwarding cache + indexed forwarding), (b) the hierarchical
+ * store queue (48 L1 + 1K/8-cycle CAM L2 + MTB), and (c) an ideal
+ * 1K-entry 3-cycle store queue.
+ *
+ * Expected shape (paper): SRL competitive with the hierarchical design
+ * across suites, ahead on WS, slightly behind on SINT2K/WEB/MM/SERVER,
+ * and within ~6% of the ideal STQ.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Figure 6: SRL vs hierarchical vs ideal "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    const std::vector<std::pair<std::string, core::ProcessorConfig>>
+        configs = {
+            {"SRL", core::srlConfig()},
+            {"Hierarchical STQ", core::hierarchicalConfig()},
+            {"Ideal STQ", core::idealConfig()},
+        };
+
+    for (const auto &[label, cfg] : configs) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(cfg, args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(label, row);
+    }
+    return 0;
+}

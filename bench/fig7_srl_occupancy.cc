@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 7 — SRL occupancy distribution during the time the SRL is
+ * occupied: for each suite, the percent of SRL-occupied time with more
+ * than {0, 64, 128, 192, 256, 384, 512, 768, 1024} entries. The paper
+ * concludes a 1K-entry SRL suffices to hold all stores in the shadow
+ * of a load miss (the >1024 row must be 0 by construction; the shape
+ * shows how quickly occupancy falls off per suite).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Figure 7: SRL occupancy distribution "
+                "(%% of occupied time with > N entries) ===\n");
+    bench::printSuiteHeader("threshold", args.suites);
+
+    std::vector<core::RunResult> results;
+    for (const auto &suite : args.suites)
+        results.push_back(
+            core::runOne(core::srlConfig(), suite, args.uops));
+
+    for (const auto t : core::figure7Thresholds()) {
+        std::vector<double> row;
+        for (const auto &r : results)
+            row.push_back(r.srl_occupancy_above.at(t));
+        bench::printRow("> " + std::to_string(t), row);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9 — LCF size and hashing function impact on SRL performance:
+ * percent speedup over the 48-entry baseline for {no LCF, 256-entry,
+ * 2K-entry} x {Lower-Address-Bits, 3-Piece-Address-XOR} indexing.
+ *
+ * Expected shape (paper): little sensitivity to the hash function in
+ * suite averages, greater sensitivity to LCF size (especially SFP2K);
+ * a 256-entry LCF performs within ~2% of a 2K-entry LCF and well above
+ * no-LCF.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Figure 9: LCF size and hash function "
+                "(%% speedup over 48-entry STQ) ===\n");
+    bench::printSuiteHeader("configuration", args.suites);
+
+    std::vector<double> base_ipc;
+    for (const auto &suite : args.suites) {
+        base_ipc.push_back(
+            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
+    }
+
+    std::vector<std::pair<std::string, core::ProcessorConfig>> configs;
+    {
+        core::ProcessorConfig c = core::srlConfig();
+        c.srl.use_lcf = false;
+        c.srl.indexed_forwarding = false;
+        configs.emplace_back("No LCF", c);
+    }
+    for (const auto &[hname, hash] :
+         {std::pair<const char *, lsq::HashScheme>{
+              "LAB", lsq::HashScheme::kLowerAddressBits},
+          std::pair<const char *, lsq::HashScheme>{
+              "3-PAX", lsq::HashScheme::kThreePieceXor}}) {
+        for (const unsigned entries : {256u, 2048u}) {
+            core::ProcessorConfig c = core::srlConfig();
+            c.srl.lcf.entries = entries;
+            c.srl.lcf.hash = hash;
+            configs.emplace_back("LCF" + std::to_string(entries) +
+                                     " + " + hname,
+                                 c);
+        }
+    }
+
+    for (const auto &[label, cfg] : configs) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < args.suites.size(); ++i) {
+            const auto r = core::runOne(cfg, args.suites[i], args.uops);
+            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
+        }
+        bench::printRow(label, row);
+    }
+    return 0;
+}

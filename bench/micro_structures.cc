@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation A3 (ours) — structure-level microbenchmarks (google-
+ * benchmark): operation throughput of the CAM store queue search
+ * versus the SRL+LCF path, the secondary load buffer's set lookup
+ * versus the conventional load queue's full CAM, and the LCF hashing
+ * schemes. These are software-model costs, but they mirror the
+ * paper's complexity argument: CAM search work grows with queue size,
+ * the SRL/LCF path does not.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "lsq/lcf.hh"
+#include "lsq/load_buffer.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/srl.hh"
+#include "lsq/store_id.hh"
+#include "lsq/store_queue.hh"
+
+namespace
+{
+
+using namespace srl;
+
+void
+BM_StoreQueueCamSearch(benchmark::State &state)
+{
+    const auto entries = static_cast<unsigned>(state.range(0));
+    lsq::StoreQueue stq({"bench-stq", entries, 3});
+    lsq::StoreIdAllocator ids(1u << 20);
+    Random rng(42);
+    for (unsigned i = 0; i < entries; ++i) {
+        stq.allocate(i, ids.allocate(), 0);
+        stq.writeAddrData(i, 0x1000 + (rng.next32() % 4096) * 8, 8,
+                          rng.next64());
+    }
+    SeqNum load_seq = entries;
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + (rng.next32() % 4096) * 8;
+        benchmark::DoNotOptimize(stq.forward(load_seq, addr, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreQueueCamSearch)->Arg(48)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_SrlLcfLookup(benchmark::State &state)
+{
+    const auto entries = static_cast<unsigned>(state.range(0));
+    lsq::StoreRedoLog log({entries});
+    lsq::LooseCheckFilter lcf({2048, 6, lsq::HashScheme::kThreePieceXor});
+    lsq::StoreIdAllocator ids(entries);
+    Random rng(42);
+    for (unsigned i = 0; i + 1 < entries; ++i) {
+        const lsq::StoreId id = ids.allocate();
+        const Addr addr = 0x1000 + (rng.next32() % 4096) * 8;
+        log.pushIndependent(i, id, 0, addr, 8, rng.next64());
+        lcf.storeInserted(addr, id.index);
+    }
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + (rng.next32() % 4096) * 8;
+        if (lcf.mayMatch(addr)) {
+            benchmark::DoNotOptimize(
+                log.peekSlot(lcf.lastSrlIndex(addr)));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SrlLcfLookup)->Arg(48)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_LoadQueueCamCheck(benchmark::State &state)
+{
+    const auto entries = static_cast<unsigned>(state.range(0));
+    lsq::LoadQueue lq({entries});
+    Random rng(42);
+    for (unsigned i = 0; i < entries; ++i) {
+        lq.allocate(i, 0);
+        lq.executed(i, 0x1000 + (rng.next32() % 4096) * 8, 8,
+                    kInvalidSeqNum);
+    }
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + (rng.next32() % 4096) * 8;
+        benchmark::DoNotOptimize(lq.snoopCheck(addr, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadQueueCamCheck)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_LoadBufferSetCheck(benchmark::State &state)
+{
+    const auto entries = static_cast<unsigned>(state.range(0));
+    lsq::SecondaryLoadBuffer buf(
+        {entries, 8, lsq::OverflowPolicy::kVictimBuffer, 32});
+    lsq::StoreIdAllocator ids(1u << 20);
+    Random rng(42);
+    const lsq::StoreId first = ids.allocate();
+    for (unsigned i = 0; i < entries; ++i) {
+        buf.insert(i + 1, static_cast<CheckpointId>(i % 8),
+                   0x1000 + (rng.next32() % 4096) * 8, 8,
+                   ids.lastAllocated(), lsq::kNullStoreId);
+        ids.allocate();
+    }
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + (rng.next32() % 4096) * 8;
+        benchmark::DoNotOptimize(buf.storeCheck(first, addr, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadBufferSetCheck)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_LcfHash(benchmark::State &state)
+{
+    const auto scheme = static_cast<lsq::HashScheme>(state.range(0));
+    lsq::CountingBloom bloom(2048, 6, scheme);
+    Random rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bloom.index(rng.next64()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LcfHash)
+    ->Arg(static_cast<int>(lsq::HashScheme::kLowerAddressBits))
+    ->Arg(static_cast<int>(lsq::HashScheme::kThreePieceXor));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 6.2 — Power and area analysis: the 512-entry hierarchical L2
+ * STQ CAM versus the 512-entry SRL + 2K-entry LCF (with and without
+ * the 256-entry forwarding cache), evaluated by the analytical 90 nm
+ * model calibrated to the paper's published SPICE datapoints, plus the
+ * model's scaling projections for other sizes and lookup rates.
+ */
+
+#include <cstdio>
+
+#include "power/model.hh"
+
+int
+main()
+{
+    using namespace srl::power;
+
+    std::printf("=== Section 6.2: power and area (model | paper) "
+                "===\n");
+    std::printf("%-44s %18s %18s %18s\n", "structure", "area mm^2",
+                "leakage mW", "dynamic mW");
+    for (const auto &row : section62Comparison()) {
+        std::printf("%-44s %8.3f |%8.3f %8.1f |%8.1f %8.1f |%8.1f\n",
+                    row.name.c_str(), row.model.area_mm2,
+                    row.paper.area_mm2, row.model.leakage_mw,
+                    row.paper.leakage_mw, row.model.dynamic_mw,
+                    row.paper.dynamic_mw);
+    }
+
+    const Technology90nm tech = paperTechnology();
+
+    std::printf("\n--- scaling: CAM L2 STQ vs SRL+LCF by entry count "
+                "(10%% L2 lookup rate) ---\n");
+    std::printf("%-10s %14s %14s %14s %14s\n", "entries",
+                "CAM area mm^2", "CAM total mW", "SRL area mm^2",
+                "SRL total mW");
+    for (const unsigned n : {128u, 256u, 512u, 1024u, 2048u}) {
+        const PowerArea cam =
+            evaluate(l2StqDesign(n), {0.10, 0.0}, tech);
+        const PowerArea srl = evaluate(srlDesign(n), {0.0, 2.0}, tech);
+        const PowerArea lcf =
+            evaluate(lcfDesign(4 * n), {0.0, 2.0}, tech);
+        std::printf("%-10u %14.3f %14.1f %14.3f %14.1f\n", n,
+                    cam.area_mm2, cam.total_mw(),
+                    srl.area_mm2 + lcf.area_mm2,
+                    srl.total_mw() + lcf.total_mw());
+    }
+
+    std::printf("\n--- dynamic power of the 512-entry CAM vs lookup "
+                "rate ---\n");
+    std::printf("%-16s %14s\n", "lookups/cycle", "dynamic mW");
+    for (const double rate : {0.01, 0.05, 0.10, 0.25, 0.5, 1.0}) {
+        const PowerArea cam =
+            evaluate(l2StqDesign(512), {rate, 0.0}, tech);
+        std::printf("%-16.2f %14.1f\n", rate, cam.dynamic_mw);
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3 — SRL statistics: for each suite under the SRL
+ * configuration, the percentage of stores redone (drained via the
+ * SRL), miss-dependent stores, miss-dependent uops, SRL-induced load
+ * stalls per 10000 uops, and the percent of execution time the SRL is
+ * occupied. Paper values printed alongside for comparison.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *suite;
+    double redone, dep_stores, dep_uops, stalls, occupied;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"SFP2K", 47.6, 26.7, 16.4, 11, 49.1},
+    {"SINT2K", 7.3, 1.3, 2.2, 5, 16.5},
+    {"WEB", 1.9, 0.6, 4.9, 9, 21.8},
+    {"MM", 6.0, 2.7, 6.5, 6, 18.3},
+    {"PROD", 0.3, 0.1, 0.4, 1, 5.7},
+    {"SERVER", 4.2, 1.1, 7.5, 17, 41.7},
+    {"WS", 9.4, 8.5, 2.6, 3, 13.9},
+};
+
+const PaperRow *
+paperRow(const std::string &suite)
+{
+    for (const auto &r : kPaper) {
+        if (suite == r.suite)
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    std::printf("=== Table 3: SRL statistics (measured | paper) ===\n");
+    std::printf("%-8s %19s %19s %19s %19s %19s\n", "suite",
+                "redone-stores%", "miss-dep-stores%", "miss-dep-uops%",
+                "ld-stalls/10k", "srl-occupied%");
+
+    for (const auto &suite : args.suites) {
+        const auto r = core::runOne(core::srlConfig(), suite, args.uops);
+        const PaperRow *p = paperRow(suite.name);
+        auto cell = [](double measured, double paper) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%8.1f |%8.1f", measured,
+                          paper);
+            return std::string(buf);
+        };
+        std::printf("%-8s %s %s %s %s %s\n", suite.name.c_str(),
+                    cell(r.pct_stores_redone, p ? p->redone : 0).c_str(),
+                    cell(r.pct_miss_dep_stores, p ? p->dep_stores : 0)
+                        .c_str(),
+                    cell(r.pct_miss_dep_uops, p ? p->dep_uops : 0)
+                        .c_str(),
+                    cell(r.srl_stalls_per_10k, p ? p->stalls : 0).c_str(),
+                    cell(r.pct_time_srl_occupied, p ? p->occupied : 0)
+                        .c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Design-space exploration: sweeps the SRL organization's free
+ * parameters (SRL depth, LCF size and hash, forwarding-cache geometry,
+ * load-buffer associativity and overflow policy) on one suite and
+ * prints IPC plus the supporting occupancy/stall statistics — the kind
+ * of study a microarchitect would run before committing to the paper's
+ * chosen configuration.
+ *
+ * Usage: design_space [suite] [uops]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/simulator.hh"
+
+using namespace srl;
+
+namespace
+{
+
+void
+report(const char *label, const core::RunResult &r, double base_ipc)
+{
+    std::printf("%-40s  ipc %6.3f  speedup %6.2f%%  occupied %5.1f%%  "
+                "stalls/10k %5.1f\n",
+                label, r.ipc, core::percentSpeedup(r.ipc, base_ipc),
+                r.pct_time_srl_occupied, r.srl_stalls_per_10k);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string suite_name = argc > 1 ? argv[1] : "SFP2K";
+    const std::uint64_t uops =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+    const auto suite = workload::suiteProfile(suite_name);
+
+    std::printf("SRL design space on %s (%llu uops)\n",
+                suite.name.c_str(),
+                static_cast<unsigned long long>(uops));
+
+    const double base_ipc =
+        core::runOne(core::baselineConfig(), suite, uops).ipc;
+    std::printf("baseline (48-entry STQ) ipc %.3f\n\n", base_ipc);
+
+    std::printf("== SRL depth ==\n");
+    for (const unsigned depth : {128u, 256u, 512u, 1024u}) {
+        auto cfg = core::srlConfig();
+        cfg.srl.srl.capacity = depth;
+        const auto r = core::runOne(cfg, suite, uops);
+        char label[64];
+        std::snprintf(label, sizeof(label), "srl depth %u", depth);
+        report(label, r, base_ipc);
+    }
+
+    std::printf("\n== LCF size x hash ==\n");
+    for (const auto hash : {lsq::HashScheme::kLowerAddressBits,
+                            lsq::HashScheme::kThreePieceXor}) {
+        for (const unsigned entries : {256u, 1024u, 2048u}) {
+            auto cfg = core::srlConfig();
+            cfg.srl.lcf.entries = entries;
+            cfg.srl.lcf.hash = hash;
+            const auto r = core::runOne(cfg, suite, uops);
+            char label[64];
+            std::snprintf(label, sizeof(label), "lcf %u %s", entries,
+                          hash == lsq::HashScheme::kLowerAddressBits
+                              ? "LAB"
+                              : "3-PAX");
+            report(label, r, base_ipc);
+        }
+    }
+
+    std::printf("\n== forwarding cache geometry ==\n");
+    for (const auto &[entries, assoc] :
+         {std::pair<unsigned, unsigned>{64, 4},
+          std::pair<unsigned, unsigned>{256, 4},
+          std::pair<unsigned, unsigned>{256, 8},
+          std::pair<unsigned, unsigned>{1024, 8}}) {
+        auto cfg = core::srlConfig();
+        cfg.srl.fwd_cache = {entries, assoc};
+        const auto r = core::runOne(cfg, suite, uops);
+        char label[64];
+        std::snprintf(label, sizeof(label), "fc %ux%u", entries, assoc);
+        report(label, r, base_ipc);
+    }
+
+    std::printf("\n== load buffer organization ==\n");
+    for (const auto &[assoc, policy, victims, name] :
+         {std::tuple<unsigned, lsq::OverflowPolicy, unsigned,
+                     const char *>{
+              4, lsq::OverflowPolicy::kVictimBuffer, 32, "4w+victim"},
+          {8, lsq::OverflowPolicy::kVictimBuffer, 32, "8w+victim"},
+          {8, lsq::OverflowPolicy::kViolate, 0, "8w violate"}}) {
+        auto cfg = core::srlConfig();
+        cfg.load_buffer.assoc = assoc;
+        cfg.load_buffer.overflow = policy;
+        cfg.load_buffer.victim_entries = victims;
+        const auto r = core::runOne(cfg, suite, uops);
+        report(name, r, base_ipc);
+    }
+
+    return 0;
+}

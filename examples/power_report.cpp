@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Power/area exploration with the calibrated 90 nm model: evaluates
+ * the paper's structures and user-specified what-if configurations,
+ * combining circuit-level numbers with *measured* activity factors
+ * from a simulation run (how often loads actually search each
+ * structure under a real workload).
+ *
+ * Usage: power_report [suite] [uops]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/simulator.hh"
+#include "power/model.hh"
+
+using namespace srl;
+
+int
+main(int argc, char **argv)
+{
+    const std::string suite_name = argc > 1 ? argv[1] : "SFP2K";
+    const std::uint64_t uops =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+
+    std::printf("=== published-calibration table (Section 6.2) ===\n");
+    for (const auto &row : power::section62Comparison()) {
+        std::printf("%-44s area %6.3f mm^2  leak %6.1f mW  dyn %6.1f "
+                    "mW\n",
+                    row.name.c_str(), row.model.area_mm2,
+                    row.model.leakage_mw, row.model.dynamic_mw);
+    }
+
+    // Measure real activity factors from simulation.
+    const auto suite = workload::suiteProfile(suite_name);
+
+    workload::Generator gen_h(suite, uops);
+    core::Processor hier(core::hierarchicalConfig(), gen_h);
+    hier.run(200'000'000);
+    const double l2_searches_per_cycle =
+        static_cast<double>(hier.l2Stq()->searches.value()) /
+        static_cast<double>(hier.stats().cycles);
+
+    workload::Generator gen_s(suite, uops);
+    core::Processor srlm(core::srlConfig(), gen_s);
+    srlm.run(200'000'000);
+    const double srl_ops_per_cycle =
+        static_cast<double>(srlm.srlLog()->pushes.value() +
+                            srlm.srlLog()->drains.value() +
+                            srlm.srlLog()->indexedReads.value()) /
+        static_cast<double>(srlm.stats().cycles);
+    const double lcf_ops_per_cycle =
+        static_cast<double>(srlm.lcf()->checks.value() +
+                            srlm.lcf()->inserts.value() +
+                            srlm.lcf()->removes.value()) /
+        static_cast<double>(srlm.stats().cycles);
+    const double fc_ops_per_cycle =
+        static_cast<double>(srlm.fwdCache()->lookups.value() +
+                            srlm.fwdCache()->updates.value()) /
+        static_cast<double>(srlm.stats().cycles);
+
+    std::printf("\n=== measured activity on %s ===\n",
+                suite.name.c_str());
+    std::printf("hierarchical L2 STQ searches/cycle: %.4f\n",
+                l2_searches_per_cycle);
+    std::printf("SRL entry ops/cycle: %.4f, LCF ops/cycle: %.4f, FC "
+                "ops/cycle: %.4f\n",
+                srl_ops_per_cycle, lcf_ops_per_cycle,
+                fc_ops_per_cycle);
+
+    const auto tech = power::paperTechnology();
+    const auto cam = power::evaluate(
+        power::l2StqDesign(1024), {l2_searches_per_cycle, 0.0}, tech);
+    const auto srl_pa = power::evaluate(
+        power::srlDesign(1024), {0.0, srl_ops_per_cycle}, tech);
+    const auto lcf_pa = power::evaluate(
+        power::lcfDesign(2048), {0.0, lcf_ops_per_cycle}, tech);
+    const auto fc_pa = power::evaluate(
+        power::fwdCacheDesign(256), {0.0, fc_ops_per_cycle}, tech);
+
+    std::printf("\n=== with measured activity (1K-entry designs) "
+                "===\n");
+    std::printf("%-36s area %6.3f mm^2  total %7.1f mW\n",
+                "hierarchical 1K L2 STQ", cam.area_mm2, cam.total_mw());
+    std::printf("%-36s area %6.3f mm^2  total %7.1f mW\n",
+                "1K SRL + 2K LCF + 256x4 FC",
+                srl_pa.area_mm2 + lcf_pa.area_mm2 + fc_pa.area_mm2,
+                srl_pa.total_mw() + lcf_pa.total_mw() +
+                    fc_pa.total_mw());
+    std::printf("\nSRL advantage: %.1fx area, %.1fx total power\n",
+                cam.area_mm2 / (srl_pa.area_mm2 + lcf_pa.area_mm2 +
+                                fc_pa.area_mm2),
+                cam.total_mw() / (srl_pa.total_mw() + lcf_pa.total_mw() +
+                                  fc_pa.total_mw()));
+    return 0;
+}

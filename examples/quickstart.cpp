@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: configure the latency-tolerant processor, run one
+ * synthetic workload suite under several store-queue organizations,
+ * and print IPC and speedup-over-baseline — the measurement every
+ * figure in the paper is built from.
+ *
+ * Usage: quickstart [suite] [uops]
+ *   suite: SFP2K SINT2K WEB MM PROD SERVER WS (default SFP2K)
+ *   uops : number of micro-ops to simulate (default 200000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace srl;
+
+    const std::string suite_name = argc > 1 ? argv[1] : "SFP2K";
+    const std::uint64_t uops =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    const workload::SuiteProfile suite =
+        workload::suiteProfile(suite_name);
+
+    std::vector<core::ProcessorConfig> configs;
+    configs.push_back(core::baselineConfig());
+    configs.push_back(core::monolithicConfig(128));
+    configs.push_back(core::monolithicConfig(256));
+    configs.push_back(core::monolithicConfig(512));
+    configs.push_back(core::idealConfig());
+    configs.push_back(core::hierarchicalConfig());
+    configs.push_back(core::srlConfig());
+
+    std::printf("suite %s, %llu uops\n", suite.name.c_str(),
+                static_cast<unsigned long long>(uops));
+    std::printf("%-20s %10s %10s %9s %8s %8s\n", "config", "cycles",
+                "IPC", "speedup%", "misses", "viol");
+
+    double base_ipc = 0.0;
+    for (const auto &cfg : configs) {
+        const core::RunResult r = core::runOne(cfg, suite, uops);
+        if (base_ipc == 0.0)
+            base_ipc = r.ipc;
+        std::printf("%-20s %10llu %10.3f %9.2f %8llu %8llu"
+                    "  [ck %llu stq %llu lq %llu sdb %llu sch %llu rf "
+                    "%llu]\n",
+                    r.config_name.c_str(),
+                    static_cast<unsigned long long>(r.cycles), r.ipc,
+                    core::percentSpeedup(r.ipc, base_ipc),
+                    static_cast<unsigned long long>(r.stats.mem_misses),
+                    static_cast<unsigned long long>(
+                        r.stats.mem_violations),
+                    static_cast<unsigned long long>(r.stats.stall_ckpt),
+                    static_cast<unsigned long long>(r.stats.stall_stq),
+                    static_cast<unsigned long long>(r.stats.stall_lq),
+                    static_cast<unsigned long long>(r.stats.stall_sdb),
+                    static_cast<unsigned long long>(r.stats.stall_sched),
+                    static_cast<unsigned long long>(r.stats.stall_rf));
+        std::printf("    ovfl-viol %llu  snoop-viol %llu  rollbacks "
+                    "total %llu\n",
+                    static_cast<unsigned long long>(
+                        r.stats.overflow_violations),
+                    static_cast<unsigned long long>(
+                        r.stats.snoop_violations),
+                    static_cast<unsigned long long>(
+                        r.stats.mem_violations +
+                        r.stats.overflow_violations +
+                        r.stats.snoop_violations));
+        std::printf("    miss-by-region: hot %llu warm %llu cold %llu "
+                    "stream %llu\n",
+                    static_cast<unsigned long long>(r.stats.miss_hot),
+                    static_cast<unsigned long long>(r.stats.miss_warm),
+                    static_cast<unsigned long long>(r.stats.miss_cold),
+                    static_cast<unsigned long long>(
+                        r.stats.miss_stream));
+        std::printf("    drain-block: head %llu fence %llu line %llu\n",
+                    static_cast<unsigned long long>(
+                        r.stats.drain_block_head),
+                    static_cast<unsigned long long>(
+                        r.stats.drain_block_fence),
+                    static_cast<unsigned long long>(
+                        r.stats.drain_block_line));
+        if (cfg.model == core::StqModel::kSrl) {
+            std::printf(
+                "  srl: redone %.1f%%  dep-stores %.1f%%  dep-uops "
+                "%.1f%%  stalls/10k %.1f  occupied %.1f%%  "
+                "block[head %llu fence %llu line %llu]\n",
+                r.pct_stores_redone, r.pct_miss_dep_stores,
+                r.pct_miss_dep_uops, r.srl_stalls_per_10k,
+                r.pct_time_srl_occupied,
+                static_cast<unsigned long long>(
+                    r.stats.drain_block_head),
+                static_cast<unsigned long long>(
+                    r.stats.drain_block_fence),
+                static_cast<unsigned long long>(
+                    r.stats.drain_block_line));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace utility: record a synthetic suite to a binary trace file,
+ * inspect it, and replay it through the simulator.
+ *
+ * Usage:
+ *   trace_tool record <suite> <uops> <file>   generate + save a trace
+ *   trace_tool info <file>                    print header/mix summary
+ *   trace_tool run <file> [config]            simulate a trace
+ *                                             (config: srl | baseline |
+ *                                              hierarchical | ideal)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/simulator.hh"
+#include "isa/trace.hh"
+#include "isa/validate.hh"
+#include "workload/generator.hh"
+#include "workload/prewarm.hh"
+
+using namespace srl;
+
+namespace
+{
+
+int
+cmdRecord(const std::string &suite_name, std::uint64_t uops,
+          const std::string &path)
+{
+    const auto suite = workload::suiteProfile(suite_name);
+    workload::Generator gen(suite, uops);
+    isa::TraceWriter writer(path);
+    const auto n = writer.appendAll(gen);
+    writer.finish();
+    std::printf("wrote %llu uops of %s to %s\n",
+                static_cast<unsigned long long>(n), suite.name.c_str(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    isa::TraceReader reader(path);
+    std::uint64_t by_class[8] = {};
+    std::uint64_t mem_bytes = 0;
+    isa::Uop u;
+    while (reader.next(u)) {
+        ++by_class[static_cast<unsigned>(u.cls)];
+        if (isa::isMemory(u.cls))
+            mem_bytes += u.memSize;
+    }
+    std::printf("%s: %llu uops\n", path.c_str(),
+                static_cast<unsigned long long>(reader.count()));
+    const char *names[] = {"ialu", "imul", "falu", "fmul",
+                           "load", "store", "br",  "nop"};
+    for (unsigned i = 0; i < 8; ++i) {
+        if (by_class[i]) {
+            std::printf("  %-6s %10llu (%.1f%%)\n", names[i],
+                        static_cast<unsigned long long>(by_class[i]),
+                        100.0 * by_class[i] / reader.count());
+        }
+    }
+    std::printf("  total memory traffic: %llu bytes\n",
+                static_cast<unsigned long long>(mem_bytes));
+    return 0;
+}
+
+int
+cmdRun(const std::string &path, const std::string &config_name)
+{
+    core::ProcessorConfig cfg;
+    if (config_name == "srl")
+        cfg = core::srlConfig();
+    else if (config_name == "baseline")
+        cfg = core::baselineConfig();
+    else if (config_name == "hierarchical")
+        cfg = core::hierarchicalConfig();
+    else if (config_name == "ideal")
+        cfg = core::idealConfig();
+    else {
+        std::fprintf(stderr, "unknown config '%s'\n",
+                     config_name.c_str());
+        return 1;
+    }
+
+    {
+        // Validate external traces before trusting them.
+        isa::TraceReader check(path);
+        const auto errors = isa::validateStream(check);
+        if (!errors.empty()) {
+            for (const auto &e : errors)
+                std::fprintf(stderr, "trace error @%lld: %s\n",
+                             static_cast<long long>(e.seq),
+                             e.message.c_str());
+            return 1;
+        }
+    }
+
+    isa::TraceReader reader(path);
+    core::Processor cpu(cfg, reader);
+    cpu.run();
+    std::fputs(cpu.formatStats().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 5 && std::strcmp(argv[1], "record") == 0)
+        return cmdRecord(argv[2], std::strtoull(argv[3], nullptr, 10),
+                         argv[4]);
+    if (argc >= 3 && std::strcmp(argv[1], "info") == 0)
+        return cmdInfo(argv[2]);
+    if (argc >= 3 && std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argv[2], argc >= 4 ? argv[3] : "srl");
+
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s record <suite> <uops> <file>\n"
+                 "  %s info <file>\n"
+                 "  %s run <file> [srl|baseline|hierarchical|ideal]\n",
+                 argv[0], argv[0], argv[0]);
+    return 1;
+}

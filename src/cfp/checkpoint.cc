@@ -1,0 +1,171 @@
+#include "cfp/checkpoint.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace cfp
+{
+
+CheckpointManager::CheckpointManager(const CheckpointParams &params)
+    : params_(params)
+{
+    fatal_if(params_.num_checkpoints == 0,
+             "need at least one checkpoint");
+    fatal_if(params_.max_interval == 0, "checkpoint interval must be > 0");
+}
+
+bool
+CheckpointManager::wantNew(bool is_branch) const
+{
+    if (live_.empty())
+        return true;
+    const auto region = youngestRegionSize();
+    if (live_.back().forced_single && region >= 1)
+        return true;
+    if (region >= params_.max_interval)
+        return true;
+    if (is_branch && region >= params_.branch_interval)
+        return true;
+    return false;
+}
+
+CheckpointId
+CheckpointManager::create(SeqNum first_seq, const RenameMap &map)
+{
+    panic_if(!canCreate(), "checkpoint create with no free slot");
+
+    // Pick the smallest slot id not in use by a live checkpoint.
+    CheckpointId slot = 0;
+    for (;; ++slot) {
+        bool used = false;
+        for (const auto &c : live_) {
+            if (c.id == slot) {
+                used = true;
+                break;
+            }
+        }
+        if (!used)
+            break;
+    }
+
+    if (!live_.empty())
+        live_.back().closed = true;
+
+    Checkpoint c;
+    c.id = slot;
+    c.first_seq = first_seq;
+    c.map = map;
+    c.forced_single = force_single_next_;
+    force_single_next_ = false;
+    live_.push_back(std::move(c));
+    ++created;
+    return slot;
+}
+
+void
+CheckpointManager::allocated(SeqNum seq)
+{
+    panic_if(live_.empty(), "uop allocated with no live checkpoint");
+    (void)seq;
+    ++live_.back().allocated;
+}
+
+void
+CheckpointManager::completed(CheckpointId id)
+{
+    for (auto &c : live_) {
+        if (c.id == id) {
+            ++c.completed;
+            panic_if(c.completed > c.allocated,
+                     "checkpoint %u completed more uops than allocated",
+                     id);
+            return;
+        }
+    }
+    panic("completion for non-live checkpoint %u", id);
+}
+
+const Checkpoint &
+CheckpointManager::youngest() const
+{
+    panic_if(live_.empty(), "youngest() with no live checkpoint");
+    return live_.back();
+}
+
+const Checkpoint &
+CheckpointManager::oldest() const
+{
+    panic_if(live_.empty(), "oldest() with no live checkpoint");
+    return live_.front();
+}
+
+const Checkpoint *
+CheckpointManager::find(CheckpointId id) const
+{
+    for (const auto &c : live_) {
+        if (c.id == id)
+            return &c;
+    }
+    return nullptr;
+}
+
+bool
+CheckpointManager::oldestCommittable() const
+{
+    if (live_.empty())
+        return false;
+    const Checkpoint &c = live_.front();
+    return c.closed && c.completed == c.allocated;
+}
+
+Checkpoint
+CheckpointManager::commitOldest()
+{
+    panic_if(!oldestCommittable(), "commitOldest() not committable");
+    Checkpoint c = std::move(live_.front());
+    live_.pop_front();
+    ++committed;
+    return c;
+}
+
+void
+CheckpointManager::closeYoungest()
+{
+    if (!live_.empty())
+        live_.back().closed = true;
+}
+
+Checkpoint
+CheckpointManager::rollbackTo(CheckpointId id)
+{
+    panic_if(!find(id), "rollback to non-live checkpoint %u", id);
+    while (!live_.empty() && live_.back().id != id)
+        live_.pop_back();
+    panic_if(live_.empty(), "rollback lost target checkpoint");
+
+    Checkpoint &c = live_.back();
+    c.allocated = 0;
+    c.completed = 0;
+    c.closed = false;
+    // Forward progress: the re-executed region closes after one uop.
+    c.forced_single = true;
+    ++rollbacks;
+    return c;
+}
+
+std::uint64_t
+CheckpointManager::youngestRegionSize() const
+{
+    return live_.empty() ? 0 : live_.back().allocated;
+}
+
+void
+CheckpointManager::clear()
+{
+    live_.clear();
+    force_single_next_ = false;
+}
+
+} // namespace cfp
+} // namespace srl

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Checkpoint Processing and Recovery (CPR) checkpoint manager
+ * [Akkary et al., MICRO 2003] — the substrate the paper's latency
+ * tolerant processor is built on (Section 2.1).
+ *
+ * A small number (Table 1: 8) of rename-map checkpoints replace the
+ * reorder buffer. Instructions belong to the checkpoint that was
+ * youngest when they were allocated; per-checkpoint completion counters
+ * track outstanding instructions, and the oldest checkpoint bulk-commits
+ * instantaneously once all its instructions have completed and the
+ * region is closed by a younger checkpoint. Recovery (branch
+ * misprediction, memory-ordering violation, external snoop hit)
+ * restores the rename map snapshot of the target checkpoint and
+ * squashes everything younger; re-executing from the checkpoint's first
+ * instruction. Forward progress is guaranteed by forcing a checkpoint
+ * on the instruction after a restarted checkpoint's first instruction.
+ */
+
+#ifndef SRLSIM_CFP_CHECKPOINT_HH
+#define SRLSIM_CFP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cfp/rename.hh"
+
+namespace srl
+{
+namespace cfp
+{
+
+struct CheckpointParams
+{
+    unsigned num_checkpoints = 8;
+    /** Open a new checkpoint after this many uops... */
+    unsigned max_interval = 256;
+    /** ...or at the first branch after this many uops. */
+    unsigned branch_interval = 64;
+};
+
+/** One live checkpoint (a contiguous program-order region of uops). */
+struct Checkpoint
+{
+    CheckpointId id = kInvalidCheckpoint; ///< slot id (reused, mod N)
+    SeqNum first_seq = kInvalidSeqNum;    ///< first uop of the region
+    RenameMap map;                        ///< rename state at creation
+    std::uint64_t allocated = 0;          ///< uops allocated into region
+    std::uint64_t completed = 0;          ///< uops completed
+    bool closed = false;                  ///< a younger ckpt exists
+    bool forced_single = false;           ///< forward-progress region
+};
+
+class CheckpointManager
+{
+  public:
+    explicit CheckpointManager(const CheckpointParams &params);
+
+    const CheckpointParams &params() const { return params_; }
+
+    /** Any live checkpoints at all? */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live checkpoints. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** True iff a new checkpoint can be created (a slot is free). */
+    bool canCreate() const { return live_.size() < params_.num_checkpoints; }
+
+    /**
+     * Should allocation open a new checkpoint before uop @p seq?
+     * Policy: first uop ever, region at max_interval, a branch with the
+     * region past branch_interval, or a forced single-uop region.
+     */
+    bool wantNew(bool is_branch) const;
+
+    /**
+     * Create a checkpoint starting at @p first_seq with rename snapshot
+     * @p map. @pre canCreate()
+     */
+    CheckpointId create(SeqNum first_seq, const RenameMap &map);
+
+    /** Record a uop allocated into the youngest checkpoint. */
+    void allocated(SeqNum seq);
+
+    /** Record completion of a uop belonging to checkpoint @p id. */
+    void completed(CheckpointId id);
+
+    /** Youngest (currently filling) checkpoint. @pre !empty() */
+    const Checkpoint &youngest() const;
+
+    /** Oldest checkpoint. @pre !empty() */
+    const Checkpoint &oldest() const;
+
+    /** The checkpoint with slot id @p id; nullptr if not live. */
+    const Checkpoint *find(CheckpointId id) const;
+
+    /**
+     * Is the oldest checkpoint ready to bulk-commit? (All its uops
+     * completed and the region is closed.)
+     */
+    bool oldestCommittable() const;
+
+    /** Bulk-commit the oldest checkpoint. @pre oldestCommittable() */
+    Checkpoint commitOldest();
+
+    /**
+     * Close the youngest checkpoint without opening a successor (end of
+     * the instruction stream, so the final region can commit).
+     */
+    void closeYoungest();
+
+    /**
+     * Roll back to checkpoint @p id: checkpoints younger than it are
+     * discarded, and @p id itself is reset to empty (its uops will
+     * re-allocate) and marked forced_single for forward progress.
+     * @return the restored checkpoint (map + first_seq).
+     */
+    Checkpoint rollbackTo(CheckpointId id);
+
+    /** Uops allocated since the youngest checkpoint was created. */
+    std::uint64_t youngestRegionSize() const;
+
+    void clear();
+
+    stats::Scalar created;
+    stats::Scalar committed;
+    stats::Scalar rollbacks;
+    stats::Scalar createStalls; ///< wanted a checkpoint, none free
+
+  private:
+    CheckpointParams params_;
+    std::deque<Checkpoint> live_; ///< oldest at front
+    CheckpointId next_slot_ = 0;
+    bool force_single_next_ = false;
+};
+
+} // namespace cfp
+} // namespace srl
+
+#endif // SRLSIM_CFP_CHECKPOINT_HH

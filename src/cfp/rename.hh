@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Register rename map with poison-bit propagation (paper Section 2.1).
+ *
+ * For a trace-driven timing model, renaming means tracking, per
+ * architectural register, the dynamic producer uop, when its value is
+ * ready, and whether it is *poisoned* — i.e. (transitively) dependent on
+ * an outstanding long-latency miss. Uops reading a poisoned register
+ * inherit the poison for their destination; that inheritance is what
+ * steers instructions into the slice (SDB) instead of the scheduler.
+ *
+ * The whole map is the unit of CPR checkpointing: CheckpointManager
+ * snapshots it at checkpoint creation and restores it on rollback.
+ */
+
+#ifndef SRLSIM_CFP_RENAME_HH
+#define SRLSIM_CFP_RENAME_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace srl
+{
+namespace cfp
+{
+
+/** Per-architectural-register rename record. */
+struct RenameEntry
+{
+    SeqNum producer = kInvalidSeqNum; ///< last writer (invalid: no writer)
+    Cycle ready = 0;                  ///< cycle the value is available
+    bool poisoned = false;            ///< miss-dependent value
+};
+
+/** The full architectural-to-physical map state. */
+class RenameMap
+{
+  public:
+    RenameEntry &
+    operator[](ArchReg reg)
+    {
+        return entries_[reg];
+    }
+
+    const RenameEntry &
+    operator[](ArchReg reg) const
+    {
+        return entries_[reg];
+    }
+
+    /** Snapshot for CPR checkpoint creation (the map is small). */
+    RenameMap snapshot() const { return *this; }
+
+    /** Clear all poison bits (e.g. full restart). */
+    void
+    clearPoison()
+    {
+        for (auto &e : entries_)
+            e.poisoned = false;
+    }
+
+    /** Number of poisoned registers (diagnostics). */
+    unsigned
+    poisonedCount() const
+    {
+        unsigned n = 0;
+        for (const auto &e : entries_)
+            n += e.poisoned ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::array<RenameEntry, isa::kNumArchRegs> entries_{};
+};
+
+} // namespace cfp
+} // namespace srl
+
+#endif // SRLSIM_CFP_RENAME_HH

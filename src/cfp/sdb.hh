@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Slice Data Buffer (paper Sections 1, 2.1; Continual Flow Pipelines
+ * [Srinivasan et al., ASPLOS 2004]).
+ *
+ * Miss-dependent instructions (the "slice") drain out of the pipeline in
+ * program order, releasing scheduler and register-file resources, and
+ * wait here with their *ready source values captured*. When the miss
+ * data returns they re-enter the pipeline in FIFO order, re-acquire
+ * resources, and execute; captured sources are immediately ready, while
+ * poisoned sources resolve through the slice's own dataflow. Slice uops
+ * keep their original sequence numbers and checkpoint membership — their
+ * checkpoints simply cannot commit until the slice completes.
+ *
+ * A dependent store's entry records the SRL slot reserved for it, so its
+ * re-execution can fill that slot (paper Section 4.3).
+ */
+
+#ifndef SRLSIM_CFP_SDB_HH
+#define SRLSIM_CFP_SDB_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/uop.hh"
+#include "lsq/store_id.hh"
+
+namespace srl
+{
+namespace cfp
+{
+
+/** One slice entry: a drained uop plus its captured-source state. */
+struct SliceEntry
+{
+    isa::Uop uop;
+    CheckpointId ckpt = kInvalidCheckpoint;
+    /** SRL slot reserved for a dependent store (stores only). */
+    lsq::StoreId srl_id = lsq::kNullStoreId;
+    bool has_srl_slot = false;
+    /** Source captured ready at drain time (value travels with entry). */
+    bool src1_captured = false;
+    bool src2_captured = false;
+    /** Producer seq for non-captured (poisoned) sources. */
+    SeqNum src1_producer = kInvalidSeqNum;
+    SeqNum src2_producer = kInvalidSeqNum;
+    /** Number of times this uop has passed through the SDB. */
+    unsigned passes = 0;
+};
+
+struct SdbParams
+{
+    unsigned capacity = 8192;
+};
+
+class SliceDataBuffer
+{
+  public:
+    explicit SliceDataBuffer(const SdbParams &params) : params_(params) {}
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= params_.capacity; }
+
+    /**
+     * Drain a slice uop into the buffer. Entries are kept in program
+     * order; drains arrive nearly ordered but can interleave across
+     * scheduler classes, so insertion is age-ordered (hardware drains
+     * through an ordered slice-rename stage).
+     */
+    void
+    push(SliceEntry entry)
+    {
+        panic_if(full(), "SDB overflow (capacity %u)", params_.capacity);
+        auto it = entries_.end();
+        while (it != entries_.begin() &&
+               std::prev(it)->uop.seq > entry.uop.seq)
+            --it;
+        panic_if(it != entries_.begin() &&
+                     std::prev(it)->uop.seq == entry.uop.seq,
+                 "duplicate SDB drain for seq %llu",
+                 static_cast<unsigned long long>(entry.uop.seq));
+        entries_.insert(it, std::move(entry));
+        ++drained;
+        peak_size = std::max(peak_size, entries_.size());
+    }
+
+    /** Oldest entry. @pre !empty() */
+    const SliceEntry &
+    front() const
+    {
+        panic_if(entries_.empty(), "SDB front() when empty");
+        return entries_.front();
+    }
+
+    /** Remove and return the oldest entry. @pre !empty() */
+    SliceEntry
+    pop()
+    {
+        panic_if(entries_.empty(), "SDB pop() when empty");
+        SliceEntry e = std::move(entries_.front());
+        entries_.pop_front();
+        ++reinserted;
+        return e;
+    }
+
+    /** Squash entries younger than @p seq (rollback). */
+    void
+    squashAfter(SeqNum seq)
+    {
+        while (!entries_.empty() && entries_.back().uop.seq > seq)
+            entries_.pop_back();
+    }
+
+    void clear() { entries_.clear(); }
+
+    stats::Scalar drained;
+    stats::Scalar reinserted;
+    std::size_t peak_size = 0;
+
+  private:
+    SdbParams params_;
+    std::deque<SliceEntry> entries_;
+};
+
+} // namespace cfp
+} // namespace srl
+
+#endif // SRLSIM_CFP_SDB_HH

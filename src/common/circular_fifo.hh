@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO. This is the structural idiom behind the
+ * Store Redo Log, the Slice Data Buffer, and the load/store ordering
+ * bit-array: hardware queues with head/tail pointers and wrap-around,
+ * where capacity is a hard structural limit (push on full is a modeling
+ * bug, so it panics).
+ *
+ * Entries are addressable by a stable *slot index* (the physical position
+ * in the ring), which is how the SRL hands out store identifiers that
+ * other structures (LCF, SDB) record and later use to index back in.
+ */
+
+#ifndef SRLSIM_COMMON_CIRCULAR_FIFO_HH
+#define SRLSIM_COMMON_CIRCULAR_FIFO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace srl
+{
+
+template <typename T>
+class CircularFifo
+{
+  public:
+    explicit CircularFifo(std::size_t capacity)
+        : slots_(capacity), capacity_(capacity)
+    {
+        panic_if(capacity == 0, "CircularFifo capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Physical slot index the next push will occupy. */
+    std::size_t tailSlot() const { return tail_; }
+
+    /** Physical slot index of the current head entry. @pre !empty() */
+    std::size_t
+    headSlot() const
+    {
+        panic_if(empty(), "headSlot() on empty fifo");
+        return head_;
+    }
+
+    /** Append an entry; returns its physical slot index. @pre !full() */
+    std::size_t
+    push(T value)
+    {
+        panic_if(full(), "push() on full fifo (capacity %zu)", capacity_);
+        const std::size_t slot = tail_;
+        slots_[slot] = std::move(value);
+        tail_ = next(tail_);
+        ++size_;
+        return slot;
+    }
+
+    /** Remove and return the head entry. @pre !empty() */
+    T
+    pop()
+    {
+        panic_if(empty(), "pop() on empty fifo");
+        T value = std::move(slots_[head_]);
+        head_ = next(head_);
+        --size_;
+        return value;
+    }
+
+    /** Access the head entry in place. @pre !empty() */
+    T &
+    front()
+    {
+        panic_if(empty(), "front() on empty fifo");
+        return slots_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        panic_if(empty(), "front() on empty fifo");
+        return slots_[head_];
+    }
+
+    /**
+     * Access an entry by physical slot index. The caller must know the
+     * slot is live (between head and tail); this models indexed access
+     * into a hardware ring (e.g. SRL indexed forwarding).
+     */
+    T &at(std::size_t slot) { return slots_[slot]; }
+    const T &at(std::size_t slot) const { return slots_[slot]; }
+
+    /** True iff physical slot @p slot currently holds a live entry. */
+    bool
+    isLive(std::size_t slot) const
+    {
+        if (slot >= capacity_ || size_ == 0)
+            return false;
+        if (size_ == capacity_)
+            return true;
+        if (head_ <= tail_)
+            return slot >= head_ && slot < tail_;
+        return slot >= head_ || slot < tail_;
+    }
+
+    /** Logical position (0 = head) of live physical slot @p slot. */
+    std::size_t
+    logicalIndex(std::size_t slot) const
+    {
+        panic_if(!isLive(slot), "logicalIndex() of dead slot %zu", slot);
+        return slot >= head_ ? slot - head_ : slot + capacity_ - head_;
+    }
+
+    /** Drop all entries. */
+    void
+    clear()
+    {
+        head_ = 0;
+        tail_ = 0;
+        size_ = 0;
+    }
+
+    /** Apply @p fn to each live entry in FIFO order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::size_t slot = head_;
+        for (std::size_t i = 0; i < size_; ++i) {
+            fn(slots_[slot]);
+            slot = next(slot);
+        }
+    }
+
+  private:
+    std::size_t next(std::size_t i) const { return (i + 1) % capacity_; }
+
+    std::vector<T> slots_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_CIRCULAR_FIFO_HH

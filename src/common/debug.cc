@@ -1,0 +1,129 @@
+#include "common/debug.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace debug
+{
+
+namespace
+{
+
+std::atomic<std::uint32_t> g_flags{0};
+std::atomic<bool> g_env_parsed{false};
+
+struct FlagName
+{
+    Flag flag;
+    const char *name;
+};
+
+constexpr FlagName kFlagNames[] = {
+    {Flag::kFetch, "Fetch"},
+    {Flag::kAlloc, "Alloc"},
+    {Flag::kIssue, "Issue"},
+    {Flag::kCommit, "Commit"},
+    {Flag::kSrl, "Srl"},
+    {Flag::kLcf, "Lcf"},
+    {Flag::kFwdCache, "FwdCache"},
+    {Flag::kLoadBuffer, "LoadBuffer"},
+    {Flag::kSlice, "Slice"},
+    {Flag::kRollback, "Rollback"},
+    {Flag::kDrain, "Drain"},
+    {Flag::kSnoop, "Snoop"},
+    {Flag::kCheckpoint, "Checkpoint"},
+};
+
+} // namespace
+
+void
+setFlag(Flag flag, bool enabled)
+{
+    if (enabled)
+        g_flags |= static_cast<std::uint32_t>(flag);
+    else
+        g_flags &= ~static_cast<std::uint32_t>(flag);
+}
+
+unsigned
+enableFromList(const std::string &list)
+{
+    unsigned enabled = 0;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (const auto &fn : kFlagNames) {
+            if (name == fn.name) {
+                setFlag(fn.flag, true);
+                ++enabled;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            warn("unknown debug flag '%s'", name.c_str());
+    }
+    return enabled;
+}
+
+void
+initFromEnvironment()
+{
+    if (g_env_parsed.exchange(true))
+        return;
+    if (const char *env = std::getenv("SRLSIM_DEBUG"))
+        enableFromList(env);
+}
+
+bool
+isEnabled(Flag flag)
+{
+    if (!g_env_parsed.load(std::memory_order_relaxed))
+        initFromEnvironment();
+    return (g_flags.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(flag)) != 0;
+}
+
+void
+clearAll()
+{
+    g_flags = 0;
+}
+
+const char *
+flagName(Flag flag)
+{
+    for (const auto &fn : kFlagNames) {
+        if (fn.flag == flag)
+            return fn.name;
+    }
+    return "?";
+}
+
+void
+tracef(Flag flag, const char *fmt, ...)
+{
+    char body[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "[%s] %s\n", flagName(flag), body);
+}
+
+} // namespace debug
+} // namespace srl

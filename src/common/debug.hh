@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime debug tracing, in the spirit of gem5's DPRINTF: named debug
+ * flags that can be enabled programmatically or via the SRLSIM_DEBUG
+ * environment variable (comma-separated flag names, e.g.
+ * `SRLSIM_DEBUG=Srl,Rollback ./build/examples/quickstart`). Disabled
+ * flags cost one branch per site; output goes to stderr with the flag
+ * name prefixed, so traces from different subsystems interleave
+ * legibly.
+ */
+
+#ifndef SRLSIM_COMMON_DEBUG_HH
+#define SRLSIM_COMMON_DEBUG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace srl
+{
+namespace debug
+{
+
+/** Debug flags, one per traceable subsystem. */
+enum class Flag : std::uint32_t
+{
+    kFetch = 1u << 0,
+    kAlloc = 1u << 1,
+    kIssue = 1u << 2,
+    kCommit = 1u << 3,
+    kSrl = 1u << 4,
+    kLcf = 1u << 5,
+    kFwdCache = 1u << 6,
+    kLoadBuffer = 1u << 7,
+    kSlice = 1u << 8,
+    kRollback = 1u << 9,
+    kDrain = 1u << 10,
+    kSnoop = 1u << 11,
+    kCheckpoint = 1u << 12,
+};
+
+/** Enable/disable one flag. */
+void setFlag(Flag flag, bool enabled);
+
+/** Enable flags from a comma-separated list of names ("Srl,Rollback").
+ *  Unknown names are reported with warn() and skipped.
+ *  @return number of flags enabled. */
+unsigned enableFromList(const std::string &list);
+
+/** Parse the SRLSIM_DEBUG environment variable (done lazily on first
+ *  isEnabled call; callable explicitly from tests). */
+void initFromEnvironment();
+
+/** Is @p flag currently enabled? */
+bool isEnabled(Flag flag);
+
+/** Disable everything (test isolation). */
+void clearAll();
+
+/** Name of a flag ("Srl"), for output prefixes. */
+const char *flagName(Flag flag);
+
+/** Emit one printf-formatted trace line, prefixed with the flag name. */
+void tracef(Flag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace debug
+} // namespace srl
+
+/**
+ * Trace-point macro: cheap when the flag is off.
+ *   DTRACE(kSrl, "drain seq %llu addr %#llx", seq, addr);
+ */
+#define DTRACE(flag, ...)                                                \
+    do {                                                                 \
+        if (::srl::debug::isEnabled(::srl::debug::Flag::flag))           \
+            ::srl::debug::tracef(::srl::debug::Flag::flag,               \
+                                 __VA_ARGS__);                           \
+    } while (0)
+
+#endif // SRLSIM_COMMON_DEBUG_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator: power-of-two
+ * predicates, log2, alignment, bit extraction, and address-hashing
+ * primitives (including the 3-piece XOR fold used by the Loose Check
+ * Filter's 3-PAX indexing scheme).
+ */
+
+#ifndef SRLSIM_COMMON_INTMATH_HH
+#define SRLSIM_COMMON_INTMATH_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace srl
+{
+
+/** @return true iff @p v is a non-zero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log base 2. @pre v != 0 */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log base 2. @pre v != 0 */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return v == 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    assert(width <= 64);
+    if (width == 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** A mask with the low @p width bits set. */
+constexpr std::uint64_t
+mask(unsigned width)
+{
+    assert(width <= 64);
+    return width == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+}
+
+/**
+ * Lower-Address-Bits (LAB) index: take bits [shift, shift+idx_bits) of
+ * the address. This is one of the two LCF hashing functions the paper
+ * evaluates (Section 6.4).
+ */
+constexpr std::uint64_t
+labIndex(std::uint64_t addr, unsigned idx_bits, unsigned shift)
+{
+    return bits(addr, shift, idx_bits);
+}
+
+/**
+ * 3-Piece-Address-XOR (3-PAX) index: XOR of the lower, middle and upper
+ * address-bit fields, each @p idx_bits wide, taken above a byte-offset
+ * @p shift. This is the paper's better-performing LCF hash (Section 6.4).
+ */
+constexpr std::uint64_t
+paxIndex(std::uint64_t addr, unsigned idx_bits, unsigned shift)
+{
+    const std::uint64_t a = addr >> shift;
+    const std::uint64_t lo = bits(a, 0, idx_bits);
+    const std::uint64_t mid = bits(a, idx_bits, idx_bits);
+    const std::uint64_t hi = bits(a, 2 * idx_bits, idx_bits);
+    return lo ^ mid ^ hi;
+}
+
+/**
+ * A 64-bit finalizer-style mix (splitmix64 finalizer). Used to decorrelate
+ * synthetic addresses and for deterministic hashing inside the workload
+ * generators; NOT used by the modeled hardware structures.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_INTMATH_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - panic(): an internal simulator invariant was violated (a bug in
+ *    srlsim itself). Aborts so a debugger/core dump is available.
+ *  - fatal(): the simulation cannot continue because of a user error
+ *    (bad configuration, invalid arguments). Exits with status 1.
+ *  - warn()/inform(): non-terminating status messages.
+ */
+
+#ifndef SRLSIM_COMMON_LOGGING_HH
+#define SRLSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace srl
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace srl
+
+/** Abort with a message: an srlsim bug, never a user error. */
+#define panic(...)                                                        \
+    ::srl::detail::panicImpl(__FILE__, __LINE__,                          \
+                             ::srl::detail::vformat(__VA_ARGS__))
+
+/** Exit(1) with a message: a user/configuration error. */
+#define fatal(...)                                                        \
+    ::srl::detail::fatalImpl(__FILE__, __LINE__,                          \
+                             ::srl::detail::vformat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define warn(...)                                                         \
+    ::srl::detail::warnImpl(::srl::detail::vformat(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...)                                                       \
+    ::srl::detail::informImpl(::srl::detail::vformat(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() unless @p cond holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+#endif // SRLSIM_COMMON_LOGGING_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A PCG32 generator (O'Neill's pcg32_oneseq variant) keeps every workload
+ * run exactly reproducible from a 64-bit seed, independent of the standard
+ * library implementation. All synthetic-trace randomness flows through
+ * this class so results are bit-identical across platforms.
+ */
+
+#ifndef SRLSIM_COMMON_RANDOM_HH
+#define SRLSIM_COMMON_RANDOM_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace srl
+{
+
+/** Deterministic 32-bit PCG random generator. */
+class Random
+{
+  public:
+    /** Seed with a 64-bit value; identical seeds give identical streams. */
+    explicit Random(std::uint64_t seed = 0x853c49e6748fea9bull)
+    {
+        state_ = 0;
+        next32();
+        state_ += seed;
+        next32();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next32()
+    {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ull + 1442695040888963407ull;
+        const auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        assert(bound > 0);
+        // Lemire-style rejection-free-enough bounded generation with
+        // threshold rejection to remove modulo bias.
+        const std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            const std::uint32_t r = next32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        const std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next64();
+        if (span <= 0xffffffffull)
+            return lo + below(static_cast<std::uint32_t>(span));
+        return lo + (next64() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next32()) * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /**
+     * Geometric-ish burst length: number of consecutive successes with
+     * continuation probability @p p, capped at @p cap.
+     */
+    unsigned
+    burst(double p, unsigned cap)
+    {
+        unsigned n = 1;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_RANDOM_HH

@@ -1,0 +1,160 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace srl
+{
+namespace stats
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    panic_if(!std::is_sorted(bounds_.begin(), bounds_.end()),
+             "Histogram bounds must be sorted");
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::fractionAbove(std::uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t above = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        // Bucket i covers values <= bounds_[i] (last bucket: above all).
+        const bool bucket_above =
+            i >= bounds_.size() || bounds_[i] > threshold;
+        if (bucket_above)
+            above += counts_[i];
+    }
+    return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+void
+Occupancy::observe(std::uint64_t entries, std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    cycles_at_[entries] += cycles;
+    total_cycles_ += cycles;
+    if (entries > 0)
+        occupied_cycles_ += cycles;
+    peak_ = std::max(peak_, entries);
+}
+
+void
+Occupancy::reset()
+{
+    cycles_at_.clear();
+    occupied_cycles_ = 0;
+    total_cycles_ = 0;
+    peak_ = 0;
+}
+
+double
+Occupancy::percentAbove(std::uint64_t threshold) const
+{
+    if (occupied_cycles_ == 0)
+        return 0.0;
+    std::uint64_t above = 0;
+    for (const auto &[entries, cycles] : cycles_at_) {
+        if (entries > threshold)
+            above += cycles;
+    }
+    return 100.0 * static_cast<double>(above) /
+           static_cast<double>(occupied_cycles_);
+}
+
+double
+Occupancy::percentOccupied() const
+{
+    if (total_cycles_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(occupied_cycles_) /
+           static_cast<double>(total_cycles_);
+}
+
+void
+StatGroup::registerScalar(const std::string &name, const Scalar *s,
+                          const std::string &desc)
+{
+    entries_.push_back({name, Kind::kScalar, s, desc});
+}
+
+void
+StatGroup::registerAverage(const std::string &name, const Average *a,
+                           const std::string &desc)
+{
+    entries_.push_back({name, Kind::kAverage, a, desc});
+}
+
+void
+StatGroup::registerValue(const std::string &name, const double *v,
+                         const std::string &desc)
+{
+    entries_.push_back({name, Kind::kValue, v, desc});
+}
+
+std::vector<StatRow>
+StatGroup::snapshot() const
+{
+    std::vector<StatRow> rows;
+    rows.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        double v = 0;
+        switch (e.kind) {
+          case Kind::kScalar:
+            v = static_cast<double>(
+                static_cast<const Scalar *>(e.ptr)->value());
+            break;
+          case Kind::kAverage:
+            v = static_cast<const Average *>(e.ptr)->mean();
+            break;
+          case Kind::kValue:
+            v = *static_cast<const double *>(e.ptr);
+            break;
+        }
+        rows.push_back({e.name, v, e.desc});
+    }
+    return rows;
+}
+
+std::string
+StatGroup::format() const
+{
+    std::string out = name_ + "\n";
+    std::size_t width = 0;
+    const auto rows = snapshot();
+    for (const auto &r : rows)
+        width = std::max(width, r.name.size());
+    char buf[256];
+    for (const auto &r : rows) {
+        std::snprintf(buf, sizeof(buf), "  %-*s %16.4f  # %s\n",
+                      static_cast<int>(width), r.name.c_str(), r.value,
+                      r.desc.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace srl

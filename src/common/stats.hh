@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats, sized for
+ * srlsim's needs: named scalar counters, averages, ratio formulas,
+ * fixed-bucket distributions and threshold ("at least N") occupancy
+ * histograms, all registerable in a StatGroup that can render itself as
+ * an aligned text table.
+ *
+ * The occupancy distribution directly supports the paper's Figure 7
+ * (SRL occupancy CDF at thresholds 0, 64, 128, ... 1024).
+ */
+
+#ifndef SRLSIM_COMMON_STATS_HH
+#define SRLSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace srl
+{
+namespace stats
+{
+
+/** A named 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(std::uint64_t v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of observed samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Histogram over explicit bucket upper bounds. A sample v lands in the
+ * first bucket whose bound is >= v; samples beyond the last bound land
+ * in a final overflow bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+    void reset();
+
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples strictly greater than @p threshold. */
+    double fractionAbove(std::uint64_t threshold) const;
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Time-weighted occupancy tracker: records, for each observed occupancy
+ * value, how many cycles the structure spent at that occupancy. Reports
+ * the "percent of occupied time with occupancy > N" series of Figure 7.
+ */
+class Occupancy
+{
+  public:
+    /** Record that the structure held @p entries for @p cycles. */
+    void observe(std::uint64_t entries, std::uint64_t cycles);
+    void reset();
+
+    /** Total cycles observed with occupancy > 0. */
+    std::uint64_t occupiedCycles() const { return occupied_cycles_; }
+
+    /** Total cycles observed (including empty). */
+    std::uint64_t totalCycles() const { return total_cycles_; }
+
+    /** Max occupancy ever observed. */
+    std::uint64_t peak() const { return peak_; }
+
+    /**
+     * Percent of *occupied* time the occupancy exceeded @p threshold
+     * (the paper's Figure 7 y-axis; ">0" is 100% by construction).
+     */
+    double percentAbove(std::uint64_t threshold) const;
+
+    /** Percent of *total* time the structure was non-empty (Table 3). */
+    double percentOccupied() const;
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> cycles_at_;
+    std::uint64_t occupied_cycles_ = 0;
+    std::uint64_t total_cycles_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+/** One row of a rendered stats table. */
+struct StatRow
+{
+    std::string name;
+    double value;
+    std::string desc;
+};
+
+/**
+ * A named collection of stats rendered as an aligned table. Modules
+ * register (name, getter, description) rows; the group pulls current
+ * values on dump.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void registerScalar(const std::string &name, const Scalar *s,
+                        const std::string &desc);
+    void registerAverage(const std::string &name, const Average *a,
+                         const std::string &desc);
+    void registerValue(const std::string &name, const double *v,
+                       const std::string &desc);
+
+    /** Current snapshot of all registered rows. */
+    std::vector<StatRow> snapshot() const;
+
+    /** Render an aligned text table. */
+    std::string format() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    enum class Kind { kScalar, kAverage, kValue };
+
+    struct Entry
+    {
+        std::string name;
+        Kind kind;
+        const void *ptr;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace stats
+} // namespace srl
+
+#endif // SRLSIM_COMMON_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental value types shared by every srlsim module.
+ *
+ * The simulator is cycle-driven: a Cycle is an absolute count of core
+ * clock ticks since reset. Addresses are byte addresses in a flat 64-bit
+ * physical space. SeqNum is a global, never-reused dynamic micro-op
+ * sequence number that also encodes program order.
+ */
+
+#ifndef SRLSIM_COMMON_TYPES_HH
+#define SRLSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace srl
+{
+
+/** Absolute core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated flat physical address space. */
+using Addr = std::uint64_t;
+
+/** Dynamic micro-op sequence number; strictly increasing in program order. */
+using SeqNum = std::uint64_t;
+
+/** Physical register index. */
+using PhysReg = std::uint16_t;
+
+/** Architectural register index. */
+using ArchReg = std::uint8_t;
+
+/** Checkpoint slot index in the CPR checkpoint manager. */
+using CheckpointId = std::uint8_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kInvalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kInvalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel for "no physical register". */
+inline constexpr PhysReg kInvalidPhysReg =
+    std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no checkpoint". */
+inline constexpr CheckpointId kInvalidCheckpoint =
+    std::numeric_limits<CheckpointId>::max();
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_TYPES_HH

@@ -1,0 +1,59 @@
+#include "core/config.hh"
+
+namespace srl
+{
+namespace core
+{
+
+ProcessorConfig
+baselineConfig()
+{
+    ProcessorConfig c;
+    c.name = "baseline-48stq";
+    c.model = StqModel::kMonolithic;
+    c.stq = {"stq", 48, 3};
+    return c;
+}
+
+ProcessorConfig
+monolithicConfig(unsigned entries)
+{
+    ProcessorConfig c;
+    c.name = "monolithic-" + std::to_string(entries);
+    c.model = StqModel::kMonolithic;
+    c.stq = {"stq", entries, 3};
+    return c;
+}
+
+ProcessorConfig
+idealConfig()
+{
+    ProcessorConfig c = monolithicConfig(1024);
+    c.name = "ideal-stq";
+    return c;
+}
+
+ProcessorConfig
+hierarchicalConfig()
+{
+    ProcessorConfig c;
+    c.name = "hierarchical-stq";
+    c.model = StqModel::kHierarchical;
+    c.stq = {"l1stq", 48, 3};
+    c.l2_stq = {"l2stq", 1024, 8};
+    c.mtb_entries = 1024;
+    return c;
+}
+
+ProcessorConfig
+srlConfig()
+{
+    ProcessorConfig c;
+    c.name = "srl";
+    c.model = StqModel::kSrl;
+    c.stq = {"l1stq", 48, 3};
+    return c;
+}
+
+} // namespace core
+} // namespace srl

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Full processor configuration. Defaults encode Table 1 of the paper:
+ * 8 GHz, 4-wide allocate / 6-wide issue, 64+64+32 scheduling windows,
+ * 8 map-table checkpoints, 192+192 registers, 48-entry store buffer,
+ * 1K-entry load buffer, store-sets dependence prediction, P4-equivalent
+ * functional units, gshare-perceptron hybrid branch prediction, stream
+ * prefetcher, 32 KB/3-cycle L1D, 1 MB/8-cycle L2, 100 ns memory.
+ *
+ * StqModel selects the store-queue organization under evaluation — the
+ * experiment axis of Figures 2, 6, 8, 9, 10.
+ */
+
+#ifndef SRLSIM_CORE_CONFIG_HH
+#define SRLSIM_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cfp/checkpoint.hh"
+#include "cfp/sdb.hh"
+#include "lsq/fwd_cache.hh"
+#include "lsq/lcf.hh"
+#include "lsq/load_buffer.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/srl.hh"
+#include "lsq/store_queue.hh"
+#include "memsys/hierarchy.hh"
+#include "predictor/store_sets.hh"
+
+namespace srl
+{
+namespace core
+{
+
+/** Store-queue organizations under evaluation. */
+enum class StqModel : std::uint8_t
+{
+    /**
+     * A single CAM store queue of configurable size and latency. With
+     * the defaults (48 entries / 3 cycles) this is the speedup
+     * denominator; 128..1024 entries give the Figure 2 sweep; 1024
+     * entries at 3 cycles is the "ideal STQ" of Figure 6.
+     */
+    kMonolithic,
+    /**
+     * Hierarchical two-level store queue [Akkary et al. 2003]:
+     * 48-entry/3-cycle L1 STQ, 1K-entry/8-cycle CAM L2 STQ, and a
+     * Membership Test Buffer filtering L2 lookups (Figure 6 baseline).
+     */
+    kHierarchical,
+    /**
+     * The paper's proposal: 48-entry L1 STQ + Store Redo Log + Loose
+     * Check Filter + forwarding cache + set-associative secondary load
+     * buffer (Figures 6-10).
+     */
+    kSrl,
+};
+
+/** SRL-model options (the Figures 8/9/10 ablation axes). */
+struct SrlOptions
+{
+    lsq::SrlParams srl{1024};
+    bool use_lcf = true;
+    lsq::LcfParams lcf{2048, 6, lsq::HashScheme::kThreePieceXor};
+    bool indexed_forwarding = true;
+    /**
+     * true: temporary updates go to the separate forwarding cache;
+     * false: temporary updates go to the L1 data cache (Figure 10's
+     * alternative), paying dirty-writebacks before updates, extra
+     * redo-phase misses after discard, and single-version stalls.
+     */
+    bool use_fwd_cache = true;
+    /**
+     * Paper-faithful drain gating (Section 4.1/4.3): while a memory
+     * miss is outstanding the SRL only accumulates; its cache
+     * re-updates happen during store-redo mode ("when the miss data
+     * returns") or once no miss is pending. false drains the head
+     * opportunistically whenever its WAR fence allows.
+     */
+    bool drain_only_in_redo = true;
+    lsq::FwdCacheParams fwd_cache{256, 4};
+};
+
+struct ProcessorConfig
+{
+    std::string name = "cfp";
+
+    // Pipeline widths (Table 1: rename/issue/retire 4/6/4).
+    unsigned alloc_width = 4;
+    unsigned issue_width = 6;
+
+    // Branch handling.
+    unsigned branch_mispredict_penalty = 20; ///< minimum, cycles
+
+    // Scheduling windows (Table 1).
+    unsigned sched_int = 64;
+    unsigned sched_fp = 64;
+    unsigned sched_mem = 32;
+
+    // Register file (Table 1).
+    unsigned regs_int = 192;
+    unsigned regs_fp = 192;
+
+    // Functional units (P4-equivalent).
+    unsigned fu_int_alu = 3;
+    unsigned fu_int_mul = 1;
+    unsigned fu_fp = 2;
+    unsigned load_ports = 2;
+    unsigned store_ports = 1;
+
+    cfp::CheckpointParams checkpoints{};
+    cfp::SdbParams sdb{};
+
+    // Store-queue organization under test.
+    StqModel model = StqModel::kMonolithic;
+
+    /** The primary (or only) store queue. */
+    lsq::StoreQueueParams stq{"l1stq", 48, 3};
+
+    /** Hierarchical model: the L2 STQ and its membership filter. */
+    lsq::StoreQueueParams l2_stq{"l2stq", 1024, 8};
+    unsigned mtb_entries = 1024;
+
+    /** SRL model options. */
+    SrlOptions srl{};
+
+    /** Conventional (CAM) load queue, non-SRL models. */
+    lsq::LoadQueueParams load_queue{1024};
+
+    /** Secondary load buffer, SRL model. */
+    lsq::LoadBufferParams load_buffer{1024, 8,
+                                      lsq::OverflowPolicy::kVictimBuffer,
+                                      32};
+
+    predictor::StoreSetsParams store_sets{};
+    memsys::HierarchyParams memory{};
+
+    /**
+     * Multiprocessor traffic model: mean external store snoops per
+     * cycle (0 disables). Snoops target random hot-region words with
+     * fresh values and exercise the load-tracking structures'
+     * multiprocessor-ordering path (Section 3).
+     */
+    double snoop_rate = 0.0;
+    std::uint64_t snoop_seed = 0x5eed;
+
+    /** Deadlock watchdog: panic after this many commit-free cycles. */
+    std::uint64_t watchdog_cycles = 1'000'000;
+};
+
+/** The Figure 6 named configurations. */
+ProcessorConfig baselineConfig();            ///< 48-entry STQ only
+ProcessorConfig monolithicConfig(unsigned entries); ///< Fig. 2 sweep
+ProcessorConfig idealConfig();               ///< 1K-entry, 3-cycle STQ
+ProcessorConfig hierarchicalConfig();        ///< L1+L2+MTB
+ProcessorConfig srlConfig();                 ///< SRL+LCF+FC
+
+} // namespace core
+} // namespace srl
+
+#endif // SRLSIM_CORE_CONFIG_HH

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * The latency-tolerant processor model: a Continual Flow Pipeline on a
+ * Checkpoint Processing and Recovery substrate (paper Section 2),
+ * parameterized by the store-queue organization under evaluation
+ * (config.hh StqModel).
+ *
+ * The model is trace-driven and cycle-stepped with an event heap for
+ * execution completions. It is *functional over memory*: stores carry
+ * real data through the modeled queues (L1 STQ, SRL, forwarding cache,
+ * hierarchical L2 STQ), loads read real values along the exact path the
+ * hardware would use, speculative drained data lives in a checkpointed
+ * overlay, and memory-ordering violations trigger true checkpoint
+ * rollback and re-execution. Final committed state is therefore
+ * comparable against an in-order reference executor — that comparison
+ * is the backbone of the test suite.
+ *
+ * Per-cycle phase order: complete -> commit -> drain -> allocate
+ * (slice re-insertion has priority over new fetch) -> issue -> fetch.
+ */
+
+#ifndef SRLSIM_CORE_PROCESSOR_HH
+#define SRLSIM_CORE_PROCESSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "cfp/checkpoint.hh"
+#include "cfp/rename.hh"
+#include "cfp/sdb.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/spec_mem.hh"
+#include "isa/uop.hh"
+#include "lsq/counting_bloom.hh"
+#include "lsq/fwd_cache.hh"
+#include "lsq/lcf.hh"
+#include "lsq/load_buffer.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/order_fence.hh"
+#include "lsq/srl.hh"
+#include "lsq/store_id.hh"
+#include "lsq/store_queue.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/main_memory.hh"
+#include "predictor/branch.hh"
+#include "predictor/store_sets.hh"
+
+namespace srl
+{
+namespace core
+{
+
+/** Pseudo-checkpoint id marking temporary in-D$ updates (Fig. 10 mode). */
+inline constexpr CheckpointId kTempCkpt = 254;
+
+/** Lifecycle of an in-flight dynamic uop. */
+enum class UopState : std::uint8_t
+{
+    kWaitAlloc,   ///< fetched, waiting for allocate (or re-allocate)
+    kInScheduler, ///< holds a scheduling-window slot
+    kIssued,      ///< executing; a completion event is pending
+    kInSlice,     ///< drained into the SDB (miss-dependent)
+    kCompleted,   ///< execution done (stores may still await drain)
+};
+
+/** Scheduler class of a uop. */
+enum class SchedClass : std::uint8_t { kInt, kFp, kMem };
+
+/** Per-uop dynamic bookkeeping (lives in the in-flight window). */
+struct DynUop
+{
+    isa::Uop uop;
+    UopState state = UopState::kWaitAlloc;
+    CheckpointId ckpt = kInvalidCheckpoint;
+    std::uint32_t generation = 0; ///< bumped on squash; stale events die
+    unsigned passes = 0;          ///< SDB round trips
+
+    // Dependences resolved at allocate.
+    SeqNum src1_prod = kInvalidSeqNum;
+    SeqNum src2_prod = kInvalidSeqNum;
+    SeqNum memdep_prod = kInvalidSeqNum; ///< store-sets predicted store
+
+    bool poisoned = false; ///< result unavailable pending a memory miss
+
+    // Store state.
+    lsq::StoreId store_id = lsq::kNullStoreId;
+    bool srl_slot_reserved = false;
+    bool in_stq = false;
+    bool drained = false;
+    bool undrained_counted = false; ///< counted in per-ckpt drain gate
+    bool via_srl = false;        ///< drained through the SRL (redone)
+    bool was_poisoned_store = false;
+
+    // Load state.
+    lsq::StoreId nearest_id = lsq::kNullStoreId;
+    SeqNum fwd_store_seq = kInvalidSeqNum;
+    lsq::StoreId fwd_store_id = lsq::kNullStoreId;
+    std::uint64_t load_value = 0;
+    bool pending_mem_miss = false;
+    bool lq_tracked = false;
+    bool counted_srl_stall = false;
+    bool counted_slice = false;
+
+    /** Allocator abs position when this uop (re)allocated: bounds
+     * live StoreId spans for the wrap-around compare. */
+    std::uint64_t alloc_store_abs = 0;
+
+    // Branch state.
+    bool mispredicted = false;
+    bool branch_counted = false; ///< predictor consulted already
+
+    Cycle complete_cycle = kInvalidCycle;
+
+    bool completed() const { return state == UopState::kCompleted; }
+};
+
+/** Aggregate run statistics surfaced to harnesses. */
+struct ProcessorStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed_uops = 0;
+    std::uint64_t committed_loads = 0;
+    std::uint64_t committed_stores = 0;
+
+    std::uint64_t slice_uops = 0;       ///< uops that drained to the SDB
+    std::uint64_t poisoned_stores = 0;  ///< miss-dependent stores
+    std::uint64_t redone_stores = 0;    ///< stores drained via the SRL
+    std::uint64_t srl_stalled_loads = 0; ///< loads that stalled on the SRL
+    std::uint64_t indexed_forwards = 0;
+    std::uint64_t mem_violations = 0;
+    std::uint64_t snoop_violations = 0;
+    std::uint64_t overflow_violations = 0;
+    std::uint64_t branch_mispredicts = 0;
+    std::uint64_t mem_misses = 0;
+    std::uint64_t fc_writebacks = 0;   ///< Fig. 10 mode dirty writebacks
+    std::uint64_t redo_phase_misses = 0;
+    std::uint64_t temp_update_stalls = 0;
+
+    // Allocation-stall attribution (cycles the front of the allocate
+    // stage was blocked, by resource).
+    std::uint64_t stall_ckpt = 0;
+    std::uint64_t stall_stq = 0;
+    std::uint64_t stall_lq = 0;
+    std::uint64_t stall_sdb = 0;
+    std::uint64_t stall_sched = 0;
+    std::uint64_t stall_rf = 0;
+
+    // SRL drain-blockage attribution (cycles).
+    std::uint64_t miss_hot = 0, miss_warm = 0, miss_cold = 0,
+                  miss_stream = 0; ///< memory misses by address region
+    std::uint64_t drain_block_head = 0;  ///< head entry has no data yet
+    std::uint64_t drain_block_fence = 0; ///< older load not yet executed
+    std::uint64_t drain_block_line = 0;  ///< speculative-line conflict
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed_uops) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+class Processor
+{
+  public:
+    /** Called at commit for every load: (seq, addr, size, value). */
+    using LoadCommitHook =
+        std::function<void(SeqNum, Addr, unsigned, std::uint64_t)>;
+
+    Processor(const ProcessorConfig &config, isa::UopStream &stream);
+    ~Processor();
+
+    /**
+     * Run until the stream is exhausted and the window drains, or
+     * until @p max_cycles elapse. @return final statistics.
+     */
+    const ProcessorStats &run(std::uint64_t max_cycles = ~0ull);
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    /** True when the stream is done and the machine is empty. */
+    bool done() const;
+
+    /**
+     * Inject an external (other-processor) store: updates main memory
+     * directly, invalidates cached copies, and snoops the load
+     * tracking structure (multiprocessor ordering, Section 3).
+     */
+    void injectSnoop(Addr addr, unsigned size, std::uint64_t data);
+
+    void setLoadCommitHook(LoadCommitHook hook) { hook_ = std::move(hook); }
+
+    const ProcessorStats &stats() const { return stats_; }
+    const ProcessorConfig &config() const { return config_; }
+    Cycle now() const { return now_; }
+
+    memsys::MainMemory &mem() { return *mem_; }
+    memsys::Hierarchy &hierarchyMut() { return *hier_; }
+    const stats::Occupancy &srlOccupancy() const { return srl_occupancy_; }
+    const lsq::StoreRedoLog *srlLog() const { return srl_.get(); }
+    const lsq::StoreQueue &stq() const { return *stq_; }
+    const lsq::StoreQueue *l2Stq() const { return l2_stq_.get(); }
+    const lsq::LooseCheckFilter *lcf() const { return lcf_.get(); }
+    const lsq::ForwardingCache *fwdCache() const { return fc_.get(); }
+    const lsq::SecondaryLoadBuffer *loadBuffer() const
+    {
+        return load_buffer_.get();
+    }
+    const lsq::LoadQueue *loadQueue() const { return lq_.get(); }
+    const memsys::Hierarchy &hierarchy() const { return *hier_; }
+    const cfp::CheckpointManager &checkpoints() const { return ckpts_; }
+    const predictor::BranchPredictor &branchPredictor() const
+    {
+        return *bpred_;
+    }
+
+    /**
+     * Full statistics report: pipeline counters plus every structure's
+     * activity counters, as an aligned text table (gem5-style dump).
+     */
+    std::string formatStats() const;
+
+  private:
+    // ----- pipeline phases -----
+    void processEvents();
+    void commit();
+    void drainStores();
+    void allocate();
+    void issue();
+    void fetch();
+
+    // ----- allocate helpers -----
+    bool allocateOne(DynUop &d, bool reinsertion);
+    bool resourcesFor(const DynUop &d, bool reinsertion) const;
+    void resolveSources(DynUop &d);
+    void enterSlice(DynUop &d, bool from_scheduler);
+    bool tryReinsertSliceHead();
+
+    // ----- issue helpers -----
+    bool sourcesReady(const DynUop &d) const;
+    bool sourcesPoisoned(const DynUop &d) const;
+    bool tryIssue(DynUop &d);
+    bool issueLoad(DynUop &d);
+    bool issueStore(DynUop &d);
+    void scheduleCompletion(DynUop &d, Cycle when);
+
+    // ----- load path -----
+    enum class LoadRoute : std::uint8_t
+    {
+        kStqForward,
+        kL2StqForward,
+        kFcForward,
+        kIndexedForward,
+        kCache,
+        kRetry, ///< structural/conflict stall; retry later
+    };
+    LoadRoute routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready);
+
+    // ----- store drain -----
+    bool drainConventionalHead();
+    bool drainHierarchical();
+    bool moveStqHeadToSrl();
+    bool drainSrlHead();
+    void processPendingFills();
+    bool drainStoreToCache(const SeqNum seq, CheckpointId ckpt, Addr addr,
+                           std::uint8_t size, std::uint64_t data);
+    void displaceToL2();
+
+    // ----- completions -----
+    void completeUop(DynUop &d);
+    void completeLoad(DynUop &d);
+    void completeStore(DynUop &d);
+
+    // ----- recovery -----
+    void handleViolation(const lsq::LoadViolation &v, SeqNum store_seq,
+                         bool snoop);
+    void rollbackToCheckpoint(CheckpointId target);
+    void beginRedoPhase();
+
+    // ----- window access -----
+    DynUop *find(SeqNum seq);
+    const DynUop *find(SeqNum seq) const;
+    bool inWindow(SeqNum seq) const;
+    bool producerReady(SeqNum prod) const;
+    bool producerPoisoned(SeqNum prod) const;
+
+    Addr workloadSnoopAddr();
+    void releaseSchedulerSlot(DynUop &d);
+    void releaseRegister(DynUop &d);
+    static SchedClass schedClassOf(const isa::Uop &u);
+
+    // ----- members -----
+    ProcessorConfig config_;
+    isa::UopStream &stream_;
+    bool stream_done_ = false;
+
+    // Memory system.
+    std::unique_ptr<memsys::MainMemory> mem_;
+    std::unique_ptr<memsys::Hierarchy> hier_;
+    std::unique_ptr<SpeculativeMemory> spec_mem_;
+
+    // Predictors.
+    std::unique_ptr<predictor::BranchPredictor> bpred_;
+    predictor::StoreSets store_sets_;
+
+    // CPR / CFP.
+    cfp::CheckpointManager ckpts_;
+    cfp::RenameMap rename_;
+    cfp::SliceDataBuffer sdb_;
+
+    // Store path (model-dependent subset is instantiated).
+    std::unique_ptr<lsq::StoreQueue> stq_;
+    std::unique_ptr<lsq::StoreQueue> l2_stq_;        // hierarchical
+    std::unique_ptr<lsq::CountingBloom> mtb_;        // hierarchical
+    std::unique_ptr<lsq::StoreRedoLog> srl_;         // srl
+    std::unique_ptr<lsq::LooseCheckFilter> lcf_;     // srl
+    std::unique_ptr<lsq::ForwardingCache> fc_;       // srl (FC or D$ temp)
+    std::unique_ptr<lsq::SecondaryLoadBuffer> load_buffer_; // srl
+    std::unique_ptr<lsq::LoadQueue> lq_;             // conventional
+    lsq::OrderFence fence_;
+    lsq::StoreIdAllocator store_ids_;
+
+    // In-flight window (replay buffer), indexed by seq - base.
+    std::deque<DynUop> window_;
+    SeqNum window_base_ = 0;
+    std::size_t alloc_index_ = 0; ///< next window index to allocate
+
+    // Scheduler occupancy.
+    std::vector<SeqNum> sched_[3]; ///< per SchedClass, insertion order
+    unsigned rf_used_int_ = 0;
+    unsigned rf_used_fp_ = 0;
+
+    // Event heap: (cycle, seq, generation).
+    struct Event
+    {
+        Cycle cycle;
+        SeqNum seq;
+        std::uint32_t generation;
+        bool operator>(const Event &o) const { return cycle > o.cycle; }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+
+    // Fetch/redirect state.
+    SeqNum fetch_block_branch_ = kInvalidSeqNum;
+    Cycle fetch_resume_ = 0;
+
+    /** Stores that completed after leaving the L1 STQ: indexed SRL
+     * fills waiting (e.g. on LCF counter space). */
+    std::vector<SeqNum> pending_srl_fills_;
+
+    // Mode flags.
+    bool redo_mode_ = false;
+    bool slice_active_ = false; ///< a slice re-insertion burst is live
+    unsigned outstanding_mem_misses_ = 0;
+    std::uint64_t rollback_epoch_ = 0; ///< bumped per rollback
+
+    /** Per-checkpoint-slot count of allocated-but-undrained stores. */
+    std::array<unsigned, 16> undrained_{};
+
+    /** Allocated-but-undrained stores (StoreId ring span gate). */
+    unsigned inflight_stores_ = 0;
+
+    /** Deterministic external-snoop traffic source (config.snoop_rate). */
+    Random snoop_rng_{0};
+    std::uint64_t snoop_payload_ = 0;
+
+    Cycle now_ = 0;
+    Cycle last_commit_cycle_ = 0;
+
+    ProcessorStats stats_;
+    stats::Occupancy srl_occupancy_;
+    LoadCommitHook hook_;
+};
+
+} // namespace core
+} // namespace srl
+
+#endif // SRLSIM_CORE_PROCESSOR_HH

@@ -1,0 +1,101 @@
+#include "core/simulator.hh"
+
+#include "common/logging.hh"
+
+#include "workload/prewarm.hh"
+
+namespace srl
+{
+namespace core
+{
+
+void
+ReferenceExecutor::run(isa::UopStream &stream)
+{
+    isa::Uop u;
+    while (stream.next(u)) {
+        if (u.isLoad()) {
+            load_values_[u.seq] = mem_.read(u.effAddr, u.memSize);
+        } else if (u.isStore()) {
+            mem_.write(u.effAddr, u.memSize, u.storeData);
+        }
+        ++uops_;
+    }
+}
+
+std::uint64_t
+ReferenceExecutor::loadValue(SeqNum seq) const
+{
+    const auto it = load_values_.find(seq);
+    panic_if(it == load_values_.end(),
+             "reference has no load at seq %llu",
+             static_cast<unsigned long long>(seq));
+    return it->second;
+}
+
+bool
+ReferenceExecutor::hasLoad(SeqNum seq) const
+{
+    return load_values_.count(seq) != 0;
+}
+
+const std::vector<std::uint64_t> &
+figure7Thresholds()
+{
+    static const std::vector<std::uint64_t> kThresholds{
+        0, 64, 128, 192, 256, 384, 512, 768, 1024};
+    return kThresholds;
+}
+
+RunResult
+runOne(const ProcessorConfig &config,
+       const workload::SuiteProfile &suite, std::uint64_t num_uops)
+{
+    workload::Generator gen(suite, num_uops);
+    Processor cpu(config, gen);
+
+    // Warmed-cache methodology: pre-fill the suite's cache-resident
+    // regions so compulsory misses do not swamp the phase behavior the
+    // experiments study (the paper's tracing methodology runs long
+    // warmups for the same reason).
+    workload::prewarmCaches(suite, cpu.hierarchyMut());
+
+    const ProcessorStats &s = cpu.run();
+
+    RunResult r;
+    r.config_name = config.name;
+    r.workload_name = suite.name;
+    r.uops = s.committed_uops;
+    r.cycles = s.cycles;
+    r.ipc = s.ipc();
+    r.stats = s;
+
+    if (config.model == StqModel::kSrl) {
+        const auto stores = s.committed_stores;
+        r.pct_stores_redone =
+            stores ? 100.0 * static_cast<double>(s.redone_stores) /
+                         static_cast<double>(stores)
+                   : 0.0;
+        r.pct_miss_dep_stores =
+            stores ? 100.0 * static_cast<double>(s.poisoned_stores) /
+                         static_cast<double>(stores)
+                   : 0.0;
+        r.pct_miss_dep_uops =
+            s.committed_uops
+                ? 100.0 * static_cast<double>(s.slice_uops) /
+                      static_cast<double>(s.committed_uops)
+                : 0.0;
+        r.srl_stalls_per_10k =
+            s.committed_uops
+                ? 1e4 * static_cast<double>(s.srl_stalled_loads) /
+                      static_cast<double>(s.committed_uops)
+                : 0.0;
+        r.pct_time_srl_occupied = cpu.srlOccupancy().percentOccupied();
+        for (const auto t : figure7Thresholds())
+            r.srl_occupancy_above[t] = cpu.srlOccupancy().percentAbove(t);
+    }
+    return r;
+}
+
+} // namespace core
+} // namespace srl

@@ -1,0 +1,95 @@
+#include "core/spec_mem.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace core
+{
+
+void
+SpeculativeMemory::write(SeqNum seq, CheckpointId ckpt, Addr addr,
+                         unsigned size, std::uint64_t data)
+{
+    panic_if(!log_.empty() && log_.back().seq >= seq,
+             "speculative store drain out of program order "
+             "(%llu after %llu)",
+             static_cast<unsigned long long>(seq),
+             static_cast<unsigned long long>(log_.back().seq));
+    LogEntry e{seq, ckpt, addr, size, data};
+    log_.push_back(e);
+    applyToOverlay(e);
+}
+
+void
+SpeculativeMemory::applyToOverlay(const LogEntry &e)
+{
+    for (unsigned i = 0; i < e.size; ++i) {
+        OverlayByte &b = overlay_[e.addr + i];
+        b.value = static_cast<std::uint8_t>(e.data >> (8 * i));
+        ++b.writers;
+    }
+}
+
+std::uint64_t
+SpeculativeMemory::read(Addr addr, unsigned size) const
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const auto it = overlay_.find(addr + i);
+        const std::uint8_t byte =
+            it != overlay_.end()
+                ? it->second.value
+                : static_cast<std::uint8_t>(mem_.read(addr + i, 1));
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+SpeculativeMemory::commitCheckpoint(CheckpointId ckpt)
+{
+    while (!log_.empty() && log_.front().ckpt == ckpt) {
+        const LogEntry &e = log_.front();
+        mem_.write(e.addr, e.size, e.data);
+        for (unsigned i = 0; i < e.size; ++i) {
+            const auto it = overlay_.find(e.addr + i);
+            panic_if(it == overlay_.end(),
+                     "overlay byte missing at commit");
+            if (--it->second.writers == 0)
+                overlay_.erase(it);
+        }
+        log_.pop_front();
+    }
+    // Sanity: no entry of this checkpoint may remain deeper in the log
+    // (drains are program-ordered, so a checkpoint's stores are always
+    // a prefix at its commit).
+    for (const auto &e : log_) {
+        panic_if(e.ckpt == ckpt,
+                 "committed checkpoint %u still has buried drained "
+                 "stores", ckpt);
+    }
+}
+
+void
+SpeculativeMemory::rollback(SeqNum first_squashed_seq)
+{
+    bool removed = false;
+    while (!log_.empty() && log_.back().seq >= first_squashed_seq) {
+        log_.pop_back();
+        removed = true;
+    }
+    if (removed)
+        rebuildOverlay();
+}
+
+void
+SpeculativeMemory::rebuildOverlay()
+{
+    overlay_.clear();
+    for (const auto &e : log_)
+        applyToOverlay(e);
+}
+
+} // namespace core
+} // namespace srl

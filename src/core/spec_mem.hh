@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Speculative memory overlay.
+ *
+ * Stores drain to the cache *speculatively* (before their checkpoint
+ * commits) in this machine, exactly as the paper's checkpointed L1 data
+ * cache does. The architectural image (memsys::MainMemory) must only
+ * ever hold committed data, so drained-but-uncommitted store values
+ * live in this overlay:
+ *
+ *  - drains append to a program-ordered log and update a byte-granular
+ *    overlay map (in-order overwrite is safe because the drain
+ *    discipline is strictly program order);
+ *  - loads read overlay bytes first, falling back to main memory
+ *    (a drained store is always program-order-older than any
+ *    still-incomplete load, thanks to the WAR order fence, so this is
+ *    always the correct view);
+ *  - committing a checkpoint applies its (prefix of the) log to main
+ *    memory; a rollback truncates the log suffix and rebuilds the
+ *    overlay — the modeled-hardware analogue is the bulk clear of
+ *    speculatively-valid cache lines.
+ */
+
+#ifndef SRLSIM_CORE_SPEC_MEM_HH
+#define SRLSIM_CORE_SPEC_MEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "memsys/main_memory.hh"
+
+namespace srl
+{
+namespace core
+{
+
+class SpeculativeMemory
+{
+  public:
+    explicit SpeculativeMemory(memsys::MainMemory &mem) : mem_(mem) {}
+
+    /** A store drains (program order). */
+    void write(SeqNum seq, CheckpointId ckpt, Addr addr, unsigned size,
+               std::uint64_t data);
+
+    /** Load view: overlay bytes over the committed image. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /**
+     * Commit checkpoint @p ckpt: its drained stores must form the log
+     * prefix (drains are program-ordered); apply them to main memory.
+     */
+    void commitCheckpoint(CheckpointId ckpt);
+
+    /** Discard drained stores with seq >= @p first_squashed_seq. */
+    void rollback(SeqNum first_squashed_seq);
+
+    std::size_t pendingStores() const { return log_.size(); }
+
+  private:
+    struct LogEntry
+    {
+        SeqNum seq;
+        CheckpointId ckpt;
+        Addr addr;
+        unsigned size;
+        std::uint64_t data;
+    };
+
+    /** Overlay: byte address -> (value, writer count). */
+    struct OverlayByte
+    {
+        std::uint8_t value = 0;
+        unsigned writers = 0;
+    };
+
+    void applyToOverlay(const LogEntry &e);
+    void rebuildOverlay();
+
+    memsys::MainMemory &mem_;
+    std::deque<LogEntry> log_; ///< program order, oldest first
+    std::unordered_map<Addr, OverlayByte> overlay_;
+};
+
+} // namespace core
+} // namespace srl
+
+#endif // SRLSIM_CORE_SPEC_MEM_HH

@@ -1,0 +1,157 @@
+#include "isa/trace.hh"
+
+#include <cstddef>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace isa
+{
+
+namespace
+{
+
+/** On-disk record layout (little-endian host assumed). */
+struct TraceRecord
+{
+    std::uint64_t seq;
+    std::uint64_t pc;
+    std::uint8_t cls;
+    std::uint8_t dst;
+    std::uint8_t src1;
+    std::uint8_t src2;
+    std::uint8_t mem_size;
+    std::uint8_t taken;
+    std::uint16_t pad;
+    std::uint64_t eff_addr;
+    std::uint64_t store_data;
+    std::uint64_t target;
+};
+static_assert(sizeof(TraceRecord) == 48, "trace record packing");
+
+struct TraceHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(TraceHeader) == 16, "trace header packing");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open trace file '%s' for writing",
+             path.c_str());
+    TraceHeader h;
+    std::memcpy(h.magic, kTraceMagic, 4);
+    h.version = kTraceVersion;
+    h.count = 0;
+    fatal_if(std::fwrite(&h, sizeof(h), 1, file_) != 1,
+             "trace header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceWriter::append(const Uop &u)
+{
+    panic_if(finished_, "append to finished trace");
+    TraceRecord r{};
+    r.seq = u.seq;
+    r.pc = u.pc;
+    r.cls = static_cast<std::uint8_t>(u.cls);
+    r.dst = u.dst;
+    r.src1 = u.src1;
+    r.src2 = u.src2;
+    r.mem_size = u.memSize;
+    r.taken = u.taken ? 1 : 0;
+    r.eff_addr = u.effAddr;
+    r.store_data = u.storeData;
+    r.target = u.target;
+    fatal_if(std::fwrite(&r, sizeof(r), 1, file_) != 1,
+             "trace record write failed");
+    ++count_;
+}
+
+std::uint64_t
+TraceWriter::appendAll(UopStream &stream)
+{
+    Uop u;
+    std::uint64_t n = 0;
+    while (stream.next(u)) {
+        append(u);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // Back-patch the count in the header.
+    std::fseek(file_, offsetof(TraceHeader, count), SEEK_SET);
+    fatal_if(std::fwrite(&count_, sizeof(count_), 1, file_) != 1,
+             "trace header patch failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    TraceHeader h;
+    fatal_if(std::fread(&h, sizeof(h), 1, file_) != 1,
+             "trace '%s': truncated header", path.c_str());
+    fatal_if(std::memcmp(h.magic, kTraceMagic, 4) != 0,
+             "trace '%s': bad magic", path.c_str());
+    fatal_if(h.version != kTraceVersion,
+             "trace '%s': unsupported version %u", path.c_str(),
+             h.version);
+    count_ = h.count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(Uop &out)
+{
+    if (read_ >= count_)
+        return false;
+    TraceRecord r;
+    fatal_if(std::fread(&r, sizeof(r), 1, file_) != 1,
+             "trace truncated at record %llu",
+             static_cast<unsigned long long>(read_));
+    out = Uop{};
+    out.seq = r.seq;
+    out.pc = r.pc;
+    out.cls = static_cast<UopClass>(r.cls);
+    out.dst = r.dst;
+    out.src1 = r.src1;
+    out.src2 = r.src2;
+    out.memSize = r.mem_size;
+    out.taken = r.taken != 0;
+    out.effAddr = r.eff_addr;
+    out.storeData = r.store_data;
+    out.target = r.target;
+    ++read_;
+    return true;
+}
+
+} // namespace isa
+} // namespace srl

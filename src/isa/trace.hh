@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary micro-op trace files: record any UopStream to disk and replay
+ * it later. Lets users snapshot a (profile, seed) workload, share the
+ * exact stimulus of an experiment, or drive the simulator from traces
+ * produced by external tools.
+ *
+ * Format (little-endian, fixed-width):
+ *   header: magic "SRLT", u32 version, u64 uop count
+ *   per uop: u64 seq, u64 pc, u8 cls, u8 dst, u8 src1, u8 src2,
+ *            u8 memSize, u8 taken, u16 pad, u64 effAddr,
+ *            u64 storeData, u64 target
+ */
+
+#ifndef SRLSIM_ISA_TRACE_HH
+#define SRLSIM_ISA_TRACE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "isa/uop.hh"
+
+namespace srl
+{
+namespace isa
+{
+
+/** Magic number and current version of the trace format. */
+inline constexpr char kTraceMagic[4] = {'S', 'R', 'L', 'T'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/**
+ * Records uops to a trace file. Writes the header on construction and
+ * back-patches the uop count on finish()/destruction.
+ */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing. Fatal on I/O failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one uop. */
+    void append(const Uop &u);
+
+    /** Drain @p stream entirely into the file; returns uops written. */
+    std::uint64_t appendAll(UopStream &stream);
+
+    /** Finalize the header; further appends are invalid. */
+    void finish();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Replays a trace file as a UopStream. Validates the header eagerly;
+ * corrupt or truncated files are fatal (user error).
+ */
+class TraceReader : public UopStream
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(Uop &out) override;
+
+    /** Total uops the header declares. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace isa
+} // namespace srl
+
+#endif // SRLSIM_ISA_TRACE_HH

@@ -1,0 +1,77 @@
+#include "isa/uop.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace isa
+{
+
+const char *
+uopClassName(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::kIntAlu: return "ialu";
+      case UopClass::kIntMul: return "imul";
+      case UopClass::kFpAlu:  return "falu";
+      case UopClass::kFpMul:  return "fmul";
+      case UopClass::kLoad:   return "load";
+      case UopClass::kStore:  return "store";
+      case UopClass::kBranch: return "br";
+      case UopClass::kNop:    return "nop";
+    }
+    panic("unknown uop class %d", static_cast<int>(cls));
+}
+
+unsigned
+executeLatency(UopClass cls)
+{
+    // Pentium-4-equivalent functional unit latencies (Table 1).
+    switch (cls) {
+      case UopClass::kIntAlu: return 1;
+      case UopClass::kIntMul: return 3;
+      case UopClass::kFpAlu:  return 4;
+      case UopClass::kFpMul:  return 6;
+      case UopClass::kBranch: return 1;
+      case UopClass::kNop:    return 1;
+      case UopClass::kLoad:
+      case UopClass::kStore:
+        panic("memory uops have no fixed execute latency");
+    }
+    panic("unknown uop class %d", static_cast<int>(cls));
+}
+
+std::string
+Uop::toString() const
+{
+    char buf[160];
+    if (isMemory(cls)) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%llu] %s pc=%#llx addr=%#llx sz=%u d=%u s1=%u "
+                      "s2=%u",
+                      static_cast<unsigned long long>(seq),
+                      uopClassName(cls),
+                      static_cast<unsigned long long>(pc),
+                      static_cast<unsigned long long>(effAddr), memSize,
+                      dst, src1, src2);
+    } else if (isBranch()) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%llu] br pc=%#llx %s tgt=%#llx s1=%u",
+                      static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(pc),
+                      taken ? "T" : "N",
+                      static_cast<unsigned long long>(target), src1);
+    } else {
+        std::snprintf(buf, sizeof(buf), "[%llu] %s pc=%#llx d=%u s1=%u s2=%u",
+                      static_cast<unsigned long long>(seq),
+                      uopClassName(cls),
+                      static_cast<unsigned long long>(pc), dst, src1,
+                      src2);
+    }
+    return buf;
+}
+
+} // namespace isa
+} // namespace srl

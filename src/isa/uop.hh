@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The dynamic micro-op (uop) model.
+ *
+ * srlsim is trace-driven: workload generators emit fully-resolved dynamic
+ * uops (effective addresses and branch outcomes precomputed), and the core
+ * model spends its effort on *timing* — scheduling, queue occupancy,
+ * forwarding, checkpoint recovery — plus a functional memory image so
+ * store-to-load forwarding correctness is actually observable. Register
+ * operands drive dependence tracking; memory values are real and flow
+ * through the modeled store queues and caches.
+ */
+
+#ifndef SRLSIM_ISA_UOP_HH
+#define SRLSIM_ISA_UOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace srl
+{
+namespace isa
+{
+
+/** Functional-unit class of a micro-op. */
+enum class UopClass : std::uint8_t
+{
+    kIntAlu,  ///< single-cycle integer op
+    kIntMul,  ///< multi-cycle integer op (mul/div lumped)
+    kFpAlu,   ///< pipelined FP add-class op
+    kFpMul,   ///< pipelined FP mul/div-class op
+    kLoad,    ///< memory read
+    kStore,   ///< memory write
+    kBranch,  ///< conditional/indirect branch
+    kNop,     ///< no-op filler
+};
+
+/** @return short mnemonic for @p cls. */
+const char *uopClassName(UopClass cls);
+
+/** @return true for kLoad/kStore. */
+constexpr bool
+isMemory(UopClass cls)
+{
+    return cls == UopClass::kLoad || cls == UopClass::kStore;
+}
+
+/** @return true for FP classes. */
+constexpr bool
+isFloat(UopClass cls)
+{
+    return cls == UopClass::kFpAlu || cls == UopClass::kFpMul;
+}
+
+/** Number of architectural registers (0-31 integer, 32-63 FP). */
+inline constexpr unsigned kNumArchRegs = 64;
+inline constexpr ArchReg kInvalidArchReg = 0xff;
+
+/** A dynamic micro-op as produced by a workload generator. */
+struct Uop
+{
+    SeqNum seq = kInvalidSeqNum; ///< assigned at fetch, program order
+    Addr pc = 0;
+    UopClass cls = UopClass::kNop;
+
+    ArchReg dst = kInvalidArchReg;  ///< destination register (if any)
+    ArchReg src1 = kInvalidArchReg; ///< first source (if any)
+    ArchReg src2 = kInvalidArchReg; ///< second source (if any)
+
+    // Memory operation fields (valid when isMemory(cls)).
+    Addr effAddr = 0;          ///< byte effective address
+    std::uint8_t memSize = 0;  ///< access size in bytes (1/2/4/8)
+    std::uint64_t storeData = 0; ///< value a store writes
+
+    // Branch fields (valid when cls == kBranch).
+    bool taken = false;
+    Addr target = 0;
+
+    bool isLoad() const { return cls == UopClass::kLoad; }
+    bool isStore() const { return cls == UopClass::kStore; }
+    bool isBranch() const { return cls == UopClass::kBranch; }
+
+    bool hasDst() const { return dst != kInvalidArchReg; }
+    bool hasSrc1() const { return src1 != kInvalidArchReg; }
+    bool hasSrc2() const { return src2 != kInvalidArchReg; }
+
+    /** Human-readable one-line rendering, for debug traces. */
+    std::string toString() const;
+};
+
+/** Execution latency in cycles of a non-memory uop class. */
+unsigned executeLatency(UopClass cls);
+
+/**
+ * Pull interface for dynamic uop streams. Generators implement this;
+ * the core fetches from it. Streams are finite: next() returns false
+ * at end-of-trace.
+ */
+class UopStream
+{
+  public:
+    virtual ~UopStream() = default;
+
+    /** Produce the next uop in program order. @return false at end. */
+    virtual bool next(Uop &out) = 0;
+};
+
+} // namespace isa
+} // namespace srl
+
+#endif // SRLSIM_ISA_UOP_HH

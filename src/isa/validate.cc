@@ -1,0 +1,111 @@
+#include "isa/validate.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace srl
+{
+namespace isa
+{
+
+namespace
+{
+
+void
+addError(std::vector<ValidationError> &errors, SeqNum seq,
+         const char *fmt, ...)
+{
+    char buf[160];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    errors.push_back({seq, buf});
+}
+
+bool
+validReg(ArchReg r)
+{
+    return r == kInvalidArchReg || r < kNumArchRegs;
+}
+
+} // namespace
+
+void
+validateUop(const Uop &u, SeqNum expected_seq,
+            std::vector<ValidationError> &errors)
+{
+    if (u.seq != expected_seq) {
+        addError(errors, u.seq,
+                 "sequence number %llu, expected %llu",
+                 static_cast<unsigned long long>(u.seq),
+                 static_cast<unsigned long long>(expected_seq));
+    }
+    if (!validReg(u.dst) || !validReg(u.src1) || !validReg(u.src2)) {
+        addError(errors, u.seq, "register index out of range "
+                 "(d=%u s1=%u s2=%u)", u.dst, u.src1, u.src2);
+    }
+
+    switch (u.cls) {
+      case UopClass::kLoad:
+        if (!u.hasDst())
+            addError(errors, u.seq, "load without destination");
+        [[fallthrough]];
+      case UopClass::kStore: {
+        const unsigned size = u.memSize;
+        if (size != 1 && size != 2 && size != 4 && size != 8) {
+            addError(errors, u.seq, "memory size %u not in {1,2,4,8}",
+                     size);
+            break;
+        }
+        if (u.effAddr % size != 0) {
+            addError(errors, u.seq,
+                     "unaligned access: addr %#llx size %u",
+                     static_cast<unsigned long long>(u.effAddr), size);
+        }
+        if (u.effAddr / 8 != (u.effAddr + size - 1) / 8) {
+            addError(errors, u.seq,
+                     "access crosses an 8-byte word boundary");
+        }
+        if (u.cls == UopClass::kStore && u.hasDst())
+            addError(errors, u.seq, "store with a destination register");
+        break;
+      }
+      case UopClass::kBranch:
+        if (u.hasDst())
+            addError(errors, u.seq, "branch with a destination register");
+        break;
+      case UopClass::kIntAlu:
+      case UopClass::kIntMul:
+      case UopClass::kFpAlu:
+      case UopClass::kFpMul:
+        if (!u.hasDst())
+            addError(errors, u.seq, "ALU op without destination");
+        break;
+      case UopClass::kNop:
+        break;
+    }
+}
+
+std::vector<ValidationError>
+validateStream(UopStream &stream, unsigned max_errors)
+{
+    std::vector<ValidationError> errors;
+    Uop u;
+    SeqNum expected = 0;
+    while (stream.next(u)) {
+        validateUop(u, expected, errors);
+        ++expected;
+        if (errors.size() >= max_errors) {
+            addError(errors, kInvalidSeqNum,
+                     "too many errors; validation stopped");
+            break;
+        }
+    }
+    if (expected == 0)
+        addError(errors, kInvalidSeqNum, "stream is empty");
+    return errors;
+}
+
+} // namespace isa
+} // namespace srl

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stream validation: checks a micro-op stream against the invariants
+ * the simulator assumes — contiguous sequence numbers, naturally
+ * aligned memory accesses that stay within one 8-byte word, register
+ * indices in range, and class-consistent fields. Used by the trace
+ * tool before replaying external traces, and by tests.
+ */
+
+#ifndef SRLSIM_ISA_VALIDATE_HH
+#define SRLSIM_ISA_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace srl
+{
+namespace isa
+{
+
+/** One validation finding. */
+struct ValidationError
+{
+    SeqNum seq;          ///< offending uop (kInvalidSeqNum: stream-level)
+    std::string message;
+};
+
+/**
+ * Validate @p stream, collecting up to @p max_errors findings.
+ * Consumes the stream.
+ */
+std::vector<ValidationError> validateStream(UopStream &stream,
+                                            unsigned max_errors = 16);
+
+/** Validate a single uop given the expected sequence number. */
+void validateUop(const Uop &u, SeqNum expected_seq,
+                 std::vector<ValidationError> &errors);
+
+} // namespace isa
+} // namespace srl
+
+#endif // SRLSIM_ISA_VALIDATE_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A direct-mapped, untagged counting Bloom filter [Fan et al. 2000,
+ * Bloom 1970] over memory addresses.
+ *
+ * Two users in this repo:
+ *  - the Loose Check Filter (lcf.hh) that tells loads whether a store to
+ *    a (hash-alias of) their address may still sit in the SRL;
+ *  - the Membership Test Buffer of the hierarchical store queue baseline
+ *    [Akkary et al. 2003], which filters L2 STQ lookups.
+ *
+ * Addresses are hashed at naturally-aligned 8-byte-word granularity
+ * (every access in this machine is 1/2/4/8 bytes, naturally aligned, so
+ * an access touches exactly one word). Counters saturate: an increment
+ * that would overflow fails and the caller must stall (the paper handles
+ * LCF counter overflow by stalling SRL store allocation).
+ */
+
+#ifndef SRLSIM_LSQ_COUNTING_BLOOM_HH
+#define SRLSIM_LSQ_COUNTING_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+/** Address-to-index hashing schemes evaluated in the paper (Sec 6.4). */
+enum class HashScheme : std::uint8_t
+{
+    kLowerAddressBits, ///< LAB: low-order word-address bits
+    kThreePieceXor,    ///< 3-PAX: XOR of lower, middle, upper fields
+};
+
+class CountingBloom
+{
+  public:
+    CountingBloom(unsigned entries, unsigned counter_bits,
+                  HashScheme scheme)
+        : counters_(entries, 0), counter_max_((1u << counter_bits) - 1),
+          idx_bits_(ceilLog2(entries)), scheme_(scheme)
+    {
+        fatal_if(!isPowerOf2(entries),
+                 "counting bloom entries must be a power of two");
+        fatal_if(counter_bits == 0 || counter_bits > 16,
+                 "counter width out of range");
+    }
+
+    /** Word-granular hash index for @p addr. */
+    unsigned
+    index(Addr addr) const
+    {
+        // >>3: word granularity; hashes operate on the word address.
+        switch (scheme_) {
+          case HashScheme::kLowerAddressBits:
+            return static_cast<unsigned>(labIndex(addr, idx_bits_, 3));
+          case HashScheme::kThreePieceXor:
+            return static_cast<unsigned>(paxIndex(addr, idx_bits_, 3));
+        }
+        panic("unknown hash scheme");
+    }
+
+    /**
+     * Increment the counter for @p addr.
+     * @return false (and change nothing) on counter saturation.
+     */
+    bool
+    increment(Addr addr)
+    {
+        auto &c = counters_[index(addr)];
+        if (c >= counter_max_) {
+            ++overflows;
+            return false;
+        }
+        ++c;
+        return true;
+    }
+
+    /** Decrement the counter for @p addr. @pre counter > 0 */
+    void
+    decrement(Addr addr)
+    {
+        auto &c = counters_[index(addr)];
+        panic_if(c == 0, "counting bloom decrement below zero");
+        --c;
+    }
+
+    /** Counter value for @p addr. Zero guarantees no member hashes here. */
+    unsigned count(Addr addr) const { return counters_[index(addr)]; }
+
+    /** May an inserted address alias with @p addr? */
+    bool mayContain(Addr addr) const { return count(addr) != 0; }
+
+    unsigned
+    entries() const
+    {
+        return static_cast<unsigned>(counters_.size());
+    }
+
+    /** True iff every counter is zero (invariant checks in tests). */
+    bool
+    allZero() const
+    {
+        for (const auto c : counters_) {
+            if (c != 0)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    clear()
+    {
+        std::fill(counters_.begin(), counters_.end(), 0);
+    }
+
+    stats::Scalar overflows;
+
+  private:
+    std::vector<std::uint16_t> counters_;
+    unsigned counter_max_;
+    unsigned idx_bits_;
+    HashScheme scheme_;
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_COUNTING_BLOOM_HH

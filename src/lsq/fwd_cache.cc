@@ -1,0 +1,167 @@
+#include "lsq/fwd_cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+ForwardingCache::ForwardingCache(const FwdCacheParams &params)
+    : params_(params), entries_(params.entries)
+{
+    fatal_if(params_.assoc == 0 ||
+                 params_.entries % params_.assoc != 0,
+             "forwarding cache entries/assoc mismatch");
+    num_sets_ = params_.entries / params_.assoc;
+    fatal_if(!isPowerOf2(num_sets_),
+             "forwarding cache set count must be a power of two");
+}
+
+unsigned
+ForwardingCache::setIndex(Addr word) const
+{
+    return static_cast<unsigned>((word >> 3) & (num_sets_ - 1));
+}
+
+const ForwardingCache::Entry *
+ForwardingCache::findWord(Addr word) const
+{
+    return const_cast<ForwardingCache *>(this)->findWord(word);
+}
+
+ForwardingCache::Entry *
+ForwardingCache::findWord(Addr word)
+{
+    const unsigned set = setIndex(word);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Entry &e = entries_[set * params_.assoc + w];
+        if (e.valid && e.word == word)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+ForwardingCache::storeUpdate(Addr addr, std::uint8_t size,
+                             std::uint64_t data, StoreId id)
+{
+    panic_if(size == 0 || size > 8 || (addr % size) != 0,
+             "forwarding cache store must be naturally aligned");
+    const Addr word = alignDown(addr, 8);
+    Entry *e = findWord(word);
+    if (!e) {
+        // Allocate: LRU within the set, preferring invalid ways.
+        const unsigned set = setIndex(word);
+        Entry *victim = &entries_[set * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            Entry &cand = entries_[set * params_.assoc + w];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (cand.lru < victim->lru)
+                victim = &cand;
+        }
+        if (victim->valid)
+            ++liveEvictions;
+        victim->valid = true;
+        victim->word = word;
+        victim->byte_mask = 0;
+        victim->last_store = kNullStoreId;
+        e = victim;
+    }
+    const unsigned off = static_cast<unsigned>(addr - word);
+    // Contract: updates arrive in program order (stores leave the L1
+    // STQ in order — that in-order departure is what makes a single
+    // age representative per word sound). A null tag means the entry
+    // mirrors committed cache state; any live store is younger.
+    panic_if(!isNullStoreId(e->last_store) &&
+                 allocatedBefore(id, e->last_store),
+             "forwarding cache updated out of program order");
+    for (unsigned i = 0; i < size; ++i) {
+        e->bytes[off + i] = static_cast<std::uint8_t>(data >> (8 * i));
+        e->byte_mask |= static_cast<std::uint8_t>(1u << (off + i));
+    }
+    e->last_store = id;
+    e->lru = ++stamp_;
+    ++updates;
+}
+
+bool
+ForwardingCache::wouldEvictLive(Addr addr) const
+{
+    const Addr word = alignDown(addr, 8);
+    if (findWord(word))
+        return false;
+    const unsigned set = setIndex(word);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!entries_[set * params_.assoc + w].valid)
+            return false;
+    }
+    return true;
+}
+
+std::optional<FwdCacheHit>
+ForwardingCache::load(Addr addr, std::uint8_t size) const
+{
+    ++lookups;
+    panic_if(size == 0 || size > 8 || (addr % size) != 0,
+             "forwarding cache load must be naturally aligned");
+    const Addr word = alignDown(addr, 8);
+    const Entry *e = findWord(word);
+    if (!e)
+        return std::nullopt;
+    const unsigned off = static_cast<unsigned>(addr - word);
+    for (unsigned i = 0; i < size; ++i) {
+        if (!(e->byte_mask & (1u << (off + i))))
+            return std::nullopt;
+    }
+    std::uint64_t data = 0;
+    for (unsigned i = 0; i < size; ++i)
+        data |= static_cast<std::uint64_t>(e->bytes[off + i]) << (8 * i);
+    ++hits;
+    return FwdCacheHit{data, e->last_store};
+}
+
+void
+ForwardingCache::storeDrained(Addr addr, std::uint8_t size,
+                              std::uint64_t data, StoreId id)
+{
+    const Addr word = alignDown(addr, 8);
+    Entry *e = findWord(word);
+    if (!e)
+        return;
+    if (!isNullStoreId(e->last_store) && !(e->last_store == id)) {
+        // A different live store age-represents this word. If it is
+        // younger than the drained store its bytes are newer; leave
+        // the entry alone. (It cannot be older: drains are in order.)
+        return;
+    }
+    const unsigned off = static_cast<unsigned>(addr - word);
+    for (unsigned i = 0; i < size; ++i) {
+        e->bytes[off + i] = static_cast<std::uint8_t>(data >> (8 * i));
+        e->byte_mask |= static_cast<std::uint8_t>(1u << (off + i));
+    }
+    e->last_store = kNullStoreId;
+}
+
+void
+ForwardingCache::discardAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+std::size_t
+ForwardingCache::liveEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace lsq
+} // namespace srl

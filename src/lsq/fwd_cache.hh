@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Forwarding Cache (paper Sections 4.3 and 6.5).
+ *
+ * A small set-associative cache (default 256 entries, 4-way) holding the
+ * *temporary* values of miss-independent stores so that later
+ * independent loads can get their data without searching the SRL, and
+ * without modifying the L1 data cache. All contents are discarded in
+ * bulk when the miss returns and the redo phase begins.
+ *
+ * Granularity is a naturally-aligned 8-byte word with a per-byte valid
+ * mask, so partial stores merge and loads hit only when every byte they
+ * need is present. Updates MUST arrive in program order — which the
+ * machine guarantees, because stores update the FC as they leave the
+ * L1 STQ head, in order. That in-order discipline is what makes a
+ * single age representative (last_store) per word sound: every valid
+ * byte holds its program-youngest writer's value, so a load that
+ * checks last_store is program-order-before itself can safely consume
+ * any valid bytes. (A property test demonstrated that out-of-order
+ * updates would break this; the contract is therefore enforced.)
+ * Evicting a live entry is legal: correctness is preserved because the
+ * LCF still counts the evicted store, so any load that misses the FC
+ * but hits the LCF falls back to the stall / indexed-forwarding path
+ * rather than reading stale cache data.
+ */
+
+#ifndef SRLSIM_LSQ_FWD_CACHE_HH
+#define SRLSIM_LSQ_FWD_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/store_id.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+struct FwdCacheParams
+{
+    unsigned entries = 256;
+    unsigned assoc = 4;
+};
+
+/** Result of a forwarding-cache load lookup. */
+struct FwdCacheHit
+{
+    std::uint64_t data = 0;
+    StoreId store_id = kNullStoreId; ///< youngest store that wrote any byte
+};
+
+class ForwardingCache
+{
+  public:
+    explicit ForwardingCache(const FwdCacheParams &params);
+
+    /**
+     * A miss-independent store writes its bytes. @p id is the store's
+     * ring identifier (recorded per entry so a forwarding load can
+     * report which store fed it, for the load buffer's check).
+     */
+    void storeUpdate(Addr addr, std::uint8_t size, std::uint64_t data,
+                     StoreId id);
+
+    /**
+     * Would storing to @p addr displace a live entry? Used by the
+     * "temporary updates in the data cache" mode (Section 6.5), where
+     * associativity conflicts must *stall store processing* instead of
+     * silently evicting speculative data.
+     */
+    bool wouldEvictLive(Addr addr) const;
+
+    /**
+     * The store with identifier @p id drained from the SRL to the
+     * cache. If this word's entry is age-represented by @p id (or has
+     * already been neutralized), refresh its bytes and neutralize the
+     * age tag (kNullStoreId): the entry's value now equals the cache's,
+     * so any load may consume it, and — critically — the entry never
+     * holds the identifier of a store that left the SRL ring, keeping
+     * every live age comparison within one ring span (where the
+     * wrap-around magnitude compare is valid).
+     */
+    void storeDrained(Addr addr, std::uint8_t size, std::uint64_t data,
+                      StoreId id);
+
+    /**
+     * Load lookup: hit iff every requested byte is valid.
+     */
+    std::optional<FwdCacheHit> load(Addr addr, std::uint8_t size) const;
+
+    /** Discard all temporary updates (redo-phase start). */
+    void discardAll();
+
+    std::size_t liveEntries() const;
+
+    stats::Scalar updates;
+    mutable stats::Scalar lookups;
+    mutable stats::Scalar hits;
+    stats::Scalar liveEvictions; ///< valid entries displaced (risk stat)
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr word = 0; ///< word-aligned address
+        std::uint8_t byte_mask = 0;
+        std::uint8_t bytes[8] = {};
+        StoreId last_store = kNullStoreId;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setIndex(Addr word) const;
+    const Entry *findWord(Addr word) const;
+    Entry *findWord(Addr word);
+
+    FwdCacheParams params_;
+    unsigned num_sets_;
+    std::vector<Entry> entries_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_FWD_CACHE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Loose Check Filter (paper Section 4.3).
+ *
+ * A direct-mapped, non-tagged array of 6-bit counters indexed by a hash
+ * of the memory address, based on a counting Bloom filter. A store
+ * entering the SRL increments its counter; the store leaving the SRL
+ * decrements it. A zero counter at a load's address guarantees no store
+ * to that address is in the SRL, so the load may bypass the SRL safely.
+ *
+ * Each LCF entry additionally records the SRL index of the last matching
+ * store inserted, enabling *indexed forwarding*: a load that hits a
+ * non-zero counter indexes the SRL directly (no CAM, no search); a
+ * single external comparator then checks full address and age. If that
+ * check fails, the load stalls until the counter drains to zero.
+ */
+
+#ifndef SRLSIM_LSQ_LCF_HH
+#define SRLSIM_LSQ_LCF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/counting_bloom.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+struct LcfParams
+{
+    unsigned entries = 2048;
+    unsigned counter_bits = 6;
+    HashScheme hash = HashScheme::kThreePieceXor;
+};
+
+class LooseCheckFilter
+{
+  public:
+    explicit LooseCheckFilter(const LcfParams &params)
+        : params_(params),
+          bloom_(params.entries, params.counter_bits, params.hash),
+          last_srl_index_(params.entries, kNoIndex)
+    {
+    }
+
+    static constexpr std::uint32_t kNoIndex = 0xffffffff;
+
+    const LcfParams &params() const { return params_; }
+
+    /**
+     * A store to @p addr enters the SRL at slot @p srl_index.
+     * @return false on counter saturation: the caller must stall SRL
+     * allocation until the counter drains.
+     */
+    bool
+    storeInserted(Addr addr, std::uint32_t srl_index)
+    {
+        if (!bloom_.increment(addr))
+            return false;
+        last_srl_index_[bloom_.index(addr)] = srl_index;
+        ++inserts;
+        return true;
+    }
+
+    /** A store to @p addr left the SRL. */
+    void
+    storeRemoved(Addr addr)
+    {
+        bloom_.decrement(addr);
+        ++removes;
+    }
+
+    /** Load-side check: zero means the SRL definitely has no match. */
+    bool
+    mayMatch(Addr addr) const
+    {
+        ++checks;
+        const bool hit = bloom_.mayContain(addr);
+        if (hit)
+            ++hits;
+        return hit;
+    }
+
+    /**
+     * SRL index recorded for the last store whose address hashed to
+     * @p addr's entry (for indexed forwarding). Only meaningful when
+     * mayMatch(addr) is true.
+     */
+    std::uint32_t
+    lastSrlIndex(Addr addr) const
+    {
+        return last_srl_index_[bloom_.index(addr)];
+    }
+
+    unsigned count(Addr addr) const { return bloom_.count(addr); }
+
+    void
+    clear()
+    {
+        bloom_.clear();
+        std::fill(last_srl_index_.begin(), last_srl_index_.end(),
+                  kNoIndex);
+    }
+
+    const CountingBloom &bloom() const { return bloom_; }
+
+    mutable stats::Scalar checks;
+    mutable stats::Scalar hits;
+    stats::Scalar inserts;
+    stats::Scalar removes;
+
+  private:
+    LcfParams params_;
+    CountingBloom bloom_;
+    std::vector<std::uint32_t> last_srl_index_;
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_LCF_HH

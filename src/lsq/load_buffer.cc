@@ -1,0 +1,188 @@
+#include "lsq/load_buffer.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+SecondaryLoadBuffer::SecondaryLoadBuffer(const LoadBufferParams &params)
+    : params_(params)
+{
+    fatal_if(params_.assoc == 0 ||
+                 params_.entries % params_.assoc != 0,
+             "load buffer entries/assoc mismatch");
+    num_sets_ = params_.entries / params_.assoc;
+    fatal_if(!isPowerOf2(num_sets_),
+             "load buffer set count must be a power of two");
+    sets_.resize(params_.entries);
+    if (params_.overflow == OverflowPolicy::kVictimBuffer)
+        victims_.resize(params_.victim_entries);
+}
+
+unsigned
+SecondaryLoadBuffer::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> 3) & (num_sets_ - 1));
+}
+
+LoadBufferInsert
+SecondaryLoadBuffer::insert(SeqNum seq, CheckpointId ckpt, Addr addr,
+                            std::uint8_t size, StoreId nearest,
+                            StoreId fwd)
+{
+    Entry e;
+    e.valid = true;
+    e.seq = seq;
+    e.ckpt = ckpt;
+    e.addr = addr;
+    e.size = size;
+    e.nearest = nearest;
+    e.fwd = fwd;
+
+    const unsigned set = setIndex(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Entry &slot = sets_[set * params_.assoc + w];
+        if (!slot.valid) {
+            slot = e;
+            ++inserts;
+            return {};
+        }
+    }
+
+    // Set overflow.
+    ++overflows;
+    if (params_.overflow == OverflowPolicy::kVictimBuffer) {
+        for (auto &slot : victims_) {
+            if (!slot.valid) {
+                slot = e;
+                ++inserts;
+                ++victimInserts;
+                return {};
+            }
+        }
+    }
+    return {.overflowed = true};
+}
+
+bool
+SecondaryLoadBuffer::violates(const Entry &e, const StoreId &store_id,
+                              Addr addr, std::uint8_t size)
+{
+    if (!e.valid || !bytesOverlap(e.addr, e.size, addr, size))
+        return false;
+    // Is the store program-order-before the load? (store id <= the
+    // load's nearest-preceding-store id, by wrap-around magnitude.)
+    if (allocatedBefore(e.nearest, store_id))
+        return false; // store is younger than the load
+    // Did the load obtain data from this store or a newer one?
+    if (!isNullStoreId(e.fwd) && !allocatedBefore(e.fwd, store_id))
+        return false; // forwarded from store_id itself or newer
+    return true;
+}
+
+std::optional<LoadViolation>
+SecondaryLoadBuffer::storeCheck(StoreId store_id, Addr addr,
+                                std::uint8_t size)
+{
+    ++setLookups;
+    const unsigned set = setIndex(addr);
+    std::optional<LoadViolation> oldest;
+    SeqNum oldest_seq = kInvalidSeqNum;
+
+    auto consider = [&](const Entry &e) {
+        ++entriesCompared;
+        if (!violates(e, store_id, addr, size))
+            return;
+        if (!oldest || e.seq < oldest_seq) {
+            oldest = LoadViolation{e.seq, e.ckpt};
+            oldest_seq = e.seq;
+        }
+    };
+
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        consider(sets_[set * params_.assoc + w]);
+    for (const auto &v : victims_)
+        consider(v);
+
+    if (oldest)
+        ++violationsFlagged;
+    return oldest;
+}
+
+std::optional<LoadViolation>
+SecondaryLoadBuffer::snoopCheck(Addr addr, std::uint8_t size)
+{
+    ++setLookups;
+    const unsigned set = setIndex(addr);
+    std::optional<LoadViolation> oldest;
+    SeqNum oldest_seq = kInvalidSeqNum;
+
+    auto consider = [&](const Entry &e) {
+        ++entriesCompared;
+        if (!e.valid || !bytesOverlap(e.addr, e.size, addr, size))
+            return;
+        if (!oldest || e.seq < oldest_seq) {
+            oldest = LoadViolation{e.seq, e.ckpt};
+            oldest_seq = e.seq;
+        }
+    };
+
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        consider(sets_[set * params_.assoc + w]);
+    for (const auto &v : victims_)
+        consider(v);
+
+    return oldest;
+}
+
+void
+SecondaryLoadBuffer::clearCheckpoint(CheckpointId ckpt)
+{
+    for (auto &e : sets_) {
+        if (e.valid && e.ckpt == ckpt)
+            e.valid = false;
+    }
+    for (auto &e : victims_) {
+        if (e.valid && e.ckpt == ckpt)
+            e.valid = false;
+    }
+}
+
+void
+SecondaryLoadBuffer::squashAfter(SeqNum seq)
+{
+    for (auto &e : sets_) {
+        if (e.valid && e.seq > seq)
+            e.valid = false;
+    }
+    for (auto &e : victims_) {
+        if (e.valid && e.seq > seq)
+            e.valid = false;
+    }
+}
+
+void
+SecondaryLoadBuffer::clear()
+{
+    for (auto &e : sets_)
+        e.valid = false;
+    for (auto &e : victims_)
+        e.valid = false;
+}
+
+std::size_t
+SecondaryLoadBuffer::liveEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : sets_)
+        n += e.valid ? 1 : 0;
+    for (const auto &e : victims_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace lsq
+} // namespace srl

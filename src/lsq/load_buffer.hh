@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The secondary load buffer (paper Section 3) — the paper's scalable,
+ * CAM-free load tracking structure.
+ *
+ * Organized like a cache: set-associative, indexed by the load's data
+ * address. Unlike a cache, multiple loads to the same address occupy
+ * separate ways of the set. Each entry carries:
+ *  - the address (tag),
+ *  - the identifier of the nearest preceding store (StoreId: SRL index
+ *    plus wrap bit), so load/store program order is a magnitude compare,
+ *  - the identifier of the store that forwarded to the load, if any,
+ *  - checkpoint bits enabling bulk reset at checkpoint commit/squash.
+ *
+ * A completing store looks up only one set (no full CAM). On an address
+ * match, the nearest-store and forwarding-store identifiers decide
+ * whether a memory-dependence violation occurred; recovery rolls back
+ * to the violating load's checkpoint (coarse-grain recovery is why no
+ * exact load ordering is needed). External snoops hit any matching load
+ * and restart from the oldest matching checkpoint. Set overflow is
+ * handled either by a small fully-associative victim buffer or by
+ * taking a memory-ordering violation (both paper options; ablation A2).
+ */
+
+#ifndef SRLSIM_LSQ_LOAD_BUFFER_HH
+#define SRLSIM_LSQ_LOAD_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/load_queue.hh" // LoadViolation
+#include "lsq/store_id.hh"
+#include "lsq/store_queue.hh" // bytesOverlap
+
+namespace srl
+{
+namespace lsq
+{
+
+/** What to do when a set is full at insertion (Section 3). */
+enum class OverflowPolicy : std::uint8_t
+{
+    kVictimBuffer, ///< spill to a small fully-associative victim buffer
+    kViolate,      ///< take a memory-ordering violation on the overflow
+};
+
+struct LoadBufferParams
+{
+    unsigned entries = 1024;
+    unsigned assoc = 4;
+    OverflowPolicy overflow = OverflowPolicy::kVictimBuffer;
+    unsigned victim_entries = 16;
+};
+
+/** Result of inserting a completed load. */
+struct LoadBufferInsert
+{
+    bool overflowed = false; ///< caller must treat as ordering violation
+};
+
+class SecondaryLoadBuffer
+{
+  public:
+    explicit SecondaryLoadBuffer(const LoadBufferParams &params);
+
+    const LoadBufferParams &params() const { return params_; }
+
+    /**
+     * A load completed: allocate an entry indexed by its data address.
+     * @p nearest is the id of the last store allocated before the load;
+     * @p fwd is the store that forwarded to it (kNullStoreId if the
+     * data came from the cache).
+     */
+    LoadBufferInsert insert(SeqNum seq, CheckpointId ckpt, Addr addr,
+                            std::uint8_t size, StoreId nearest,
+                            StoreId fwd);
+
+    /**
+     * An internal store (with identifier @p store_id) completes or
+     * drains: set-associative lookup for violating loads. Violation:
+     * the load is younger than the store, addresses overlap, and the
+     * load did not get its data from this store or a newer one.
+     * @return the oldest violating load (program-order check among the
+     * set's hits), if any.
+     */
+    std::optional<LoadViolation> storeCheck(StoreId store_id, Addr addr,
+                                            std::uint8_t size);
+
+    /**
+     * External store snoop: restart from the oldest matching load's
+     * checkpoint; no age comparison needed.
+     */
+    std::optional<LoadViolation> snoopCheck(Addr addr,
+                                            std::uint8_t size);
+
+    /** Bulk-reset all entries belonging to checkpoint @p ckpt. */
+    void clearCheckpoint(CheckpointId ckpt);
+
+    /** Squash entries younger than @p seq (rollback support). */
+    void squashAfter(SeqNum seq);
+
+    void clear();
+
+    std::size_t liveEntries() const;
+
+    mutable stats::Scalar setLookups;     ///< store/snoop set reads
+    mutable stats::Scalar entriesCompared; ///< per-way comparator firings
+    stats::Scalar inserts;
+    stats::Scalar overflows;
+    stats::Scalar victimInserts;
+    stats::Scalar violationsFlagged;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        SeqNum seq = kInvalidSeqNum;
+        CheckpointId ckpt = kInvalidCheckpoint;
+        Addr addr = 0;
+        std::uint8_t size = 0;
+        StoreId nearest = kNullStoreId;
+        StoreId fwd = kNullStoreId;
+    };
+
+    unsigned setIndex(Addr addr) const;
+
+    /** Violation predicate for one entry against a completing store. */
+    static bool violates(const Entry &e, const StoreId &store_id,
+                         Addr addr, std::uint8_t size);
+
+    template <typename Pred>
+    std::optional<LoadViolation> scan(Addr addr, const Pred &pred);
+
+    LoadBufferParams params_;
+    unsigned num_sets_;
+    std::vector<Entry> sets_;    ///< num_sets_ x assoc
+    std::vector<Entry> victims_; ///< fully associative victim buffer
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_LOAD_BUFFER_HH

@@ -1,0 +1,99 @@
+#include "lsq/load_queue.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+LoadQueue::LoadQueue(const LoadQueueParams &params) : params_(params)
+{
+    fatal_if(params_.capacity == 0, "load queue capacity must be > 0");
+}
+
+void
+LoadQueue::allocate(SeqNum seq, CheckpointId ckpt)
+{
+    panic_if(full(), "load queue allocate when full");
+    panic_if(!entries_.empty() && entries_.back().seq >= seq,
+             "load queue allocation out of program order "
+             "(tail %llu, new %llu)",
+             static_cast<unsigned long long>(entries_.back().seq),
+             static_cast<unsigned long long>(seq));
+    Entry e;
+    e.seq = seq;
+    e.ckpt = ckpt;
+    entries_.push_back(e);
+}
+
+void
+LoadQueue::executed(SeqNum seq, Addr addr, std::uint8_t size,
+                    SeqNum fwd_store_seq)
+{
+    for (auto &e : entries_) {
+        if (e.seq == seq) {
+            e.addr = addr;
+            e.size = size;
+            e.fwd_store_seq = fwd_store_seq;
+            e.executed = true;
+            return;
+        }
+    }
+    panic("load queue executed() for absent load %llu",
+          static_cast<unsigned long long>(seq));
+}
+
+std::optional<LoadViolation>
+LoadQueue::storeCheck(SeqNum store_seq, Addr addr, std::uint8_t size)
+{
+    ++camSearches;
+    camEntriesSearched += entries_.size();
+    for (const auto &e : entries_) { // oldest first
+        if (!e.executed || e.seq <= store_seq)
+            continue;
+        if (!bytesOverlap(e.addr, e.size, addr, size))
+            continue;
+        // Did the load obtain its data from this store or a newer one?
+        if (e.fwd_store_seq != kInvalidSeqNum &&
+            e.fwd_store_seq >= store_seq) {
+            continue;
+        }
+        ++violations;
+        return LoadViolation{e.seq, e.ckpt};
+    }
+    return std::nullopt;
+}
+
+std::optional<LoadViolation>
+LoadQueue::snoopCheck(Addr addr, std::uint8_t size)
+{
+    ++camSearches;
+    camEntriesSearched += entries_.size();
+    for (const auto &e : entries_) {
+        if (!e.executed)
+            continue;
+        if (bytesOverlap(e.addr, e.size, addr, size)) {
+            ++snoopHits;
+            return LoadViolation{e.seq, e.ckpt};
+        }
+    }
+    return std::nullopt;
+}
+
+void
+LoadQueue::commitUpTo(SeqNum seq)
+{
+    while (!entries_.empty() && entries_.front().seq <= seq)
+        entries_.pop_front();
+}
+
+void
+LoadQueue::squashAfter(SeqNum seq)
+{
+    while (!entries_.empty() && entries_.back().seq > seq)
+        entries_.pop_back();
+}
+
+} // namespace lsq
+} // namespace srl

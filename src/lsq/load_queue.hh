@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Conventional fully-associative load queue (paper Section 2.2.1 /
+ * Section 2.3), used by the non-SRL configurations (baseline, monolithic
+ * STQ sweep, hierarchical, ideal).
+ *
+ * A FIFO of all in-flight (allocated but not committed) loads. Internal
+ * store executions and external snoops CAM the entire queue against
+ * their address; a younger load that executed without forwarding from
+ * the store (or from some newer store) raises a memory-order violation
+ * and execution restarts from the violating load's checkpoint. CAM
+ * activity counters feed the power model.
+ */
+
+#ifndef SRLSIM_LSQ_LOAD_QUEUE_HH
+#define SRLSIM_LSQ_LOAD_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/store_queue.hh" // bytesOverlap
+
+namespace srl
+{
+namespace lsq
+{
+
+/** A detected memory-ordering violation. */
+struct LoadViolation
+{
+    SeqNum load_seq = kInvalidSeqNum;
+    CheckpointId ckpt = kInvalidCheckpoint;
+};
+
+struct LoadQueueParams
+{
+    unsigned capacity = 1024;
+};
+
+class LoadQueue
+{
+  public:
+    explicit LoadQueue(const LoadQueueParams &params);
+
+    unsigned capacity() const { return params_.capacity; }
+    std::size_t size() const { return entries_.size(); }
+    bool full() const { return entries_.size() >= params_.capacity; }
+
+    /** Allocate at rename, in program order. @pre !full() */
+    void allocate(SeqNum seq, CheckpointId ckpt);
+
+    /**
+     * The load executed: record its address and which store (if any)
+     * forwarded to it (kInvalidSeqNum for cache/none).
+     */
+    void executed(SeqNum seq, Addr addr, std::uint8_t size,
+                  SeqNum fwd_store_seq);
+
+    /**
+     * A store with now-known address executes/completes: CAM the queue.
+     * @return the oldest violating load, if any.
+     */
+    std::optional<LoadViolation> storeCheck(SeqNum store_seq, Addr addr,
+                                            std::uint8_t size);
+
+    /**
+     * External (other-processor) store snoop: any executed load whose
+     * address matches must restart (no age check needed, Section 3).
+     * @return the oldest matching load, if any.
+     */
+    std::optional<LoadViolation> snoopCheck(Addr addr,
+                                            std::uint8_t size);
+
+    /** Commit (remove) all loads with seq <= @p seq. */
+    void commitUpTo(SeqNum seq);
+
+    /** Squash all loads with seq > @p seq. */
+    void squashAfter(SeqNum seq);
+
+    void clear() { entries_.clear(); }
+
+    mutable stats::Scalar camSearches;
+    mutable stats::Scalar camEntriesSearched;
+    stats::Scalar violations;
+    stats::Scalar snoopHits;
+
+  private:
+    struct Entry
+    {
+        SeqNum seq = kInvalidSeqNum;
+        CheckpointId ckpt = kInvalidCheckpoint;
+        Addr addr = 0;
+        std::uint8_t size = 0;
+        SeqNum fwd_store_seq = kInvalidSeqNum;
+        bool executed = false;
+    };
+
+    LoadQueueParams params_;
+    std::deque<Entry> entries_; ///< oldest at front
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_LOAD_QUEUE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The load/store ordering bit-array (paper Section 4.3, last paragraph):
+ * during redo mode the store at the SRL head may update the cache only
+ * after all program-order-prior loads have executed (write-after-read).
+ *
+ * Hardware: a bit array with head and tail pointers; every load and
+ * store gets an entry in program order, only loads set (at allocate)
+ * and clear (at completion) their bit; a store at the head knows all
+ * prior loads are done. Model: we track the set of outstanding
+ * (allocated, not yet completed) load sequence numbers and answer
+ * "is any load older than this store still outstanding?", which is the
+ * exact question the bit array answers.
+ */
+
+#ifndef SRLSIM_LSQ_ORDER_FENCE_HH
+#define SRLSIM_LSQ_ORDER_FENCE_HH
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+class OrderFence
+{
+  public:
+    /** A load allocates: its bit is set. */
+    void
+    loadAllocated(SeqNum seq)
+    {
+        outstanding_.insert(seq);
+    }
+
+    /** The load completed execution: its bit clears. */
+    void
+    loadCompleted(SeqNum seq)
+    {
+        const auto it = outstanding_.find(seq);
+        panic_if(it == outstanding_.end(),
+                 "order fence: completing untracked load %llu",
+                 static_cast<unsigned long long>(seq));
+        outstanding_.erase(it);
+    }
+
+    /** The load was squashed before completing. */
+    void
+    loadSquashed(SeqNum seq)
+    {
+        outstanding_.erase(seq);
+    }
+
+    /** Squash all tracked loads younger than @p seq. */
+    void
+    squashAfter(SeqNum seq)
+    {
+        outstanding_.erase(outstanding_.upper_bound(seq),
+                           outstanding_.end());
+    }
+
+    /**
+     * May the store with sequence @p store_seq drain (update the
+     * cache)? True iff no older load is still outstanding.
+     */
+    bool
+    storeMayDrain(SeqNum store_seq) const
+    {
+        if (outstanding_.empty())
+            return true;
+        const bool ok = *outstanding_.begin() > store_seq;
+        if (!ok)
+            ++const_cast<stats::Scalar &>(drainBlocked);
+        return ok;
+    }
+
+    std::size_t outstandingLoads() const { return outstanding_.size(); }
+
+    void clear() { outstanding_.clear(); }
+
+    mutable stats::Scalar drainBlocked;
+
+  private:
+    std::set<SeqNum> outstanding_;
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_ORDER_FENCE_HH

@@ -1,0 +1,156 @@
+#include "lsq/srl.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+StoreRedoLog::StoreRedoLog(const SrlParams &params)
+    : params_(params), slots_(params.capacity)
+{
+    fatal_if(params_.capacity == 0, "SRL capacity must be > 0");
+}
+
+void
+StoreRedoLog::pushIndependent(SeqNum seq, StoreId id, CheckpointId ckpt,
+                              Addr addr, std::uint8_t size,
+                              std::uint64_t data)
+{
+    panic_if(full(), "SRL push on full log");
+    if (empty()) {
+        head_abs_ = id.abs;
+        tail_abs_ = id.abs;
+    }
+    panic_if(id.abs != tail_abs_,
+             "SRL push out of order: got abs %llu expected %llu",
+             static_cast<unsigned long long>(id.abs),
+             static_cast<unsigned long long>(tail_abs_));
+    // abs ids start at 1 (0 is the null marker), so slot = (abs-1) % cap.
+    panic_if((id.abs - 1) % params_.capacity != id.index,
+             "StoreId index %u inconsistent with SRL ring (abs %llu)",
+             id.index, static_cast<unsigned long long>(id.abs));
+
+    SrlEntry &e = slots_[id.index];
+    e.seq = seq;
+    e.id = id;
+    e.ckpt = ckpt;
+    e.addr = addr;
+    e.size = size;
+    e.data = data;
+    e.data_valid = true;
+    e.dependent = false;
+    ++tail_abs_;
+    ++count_;
+    ++pushes;
+}
+
+void
+StoreRedoLog::pushDependent(SeqNum seq, StoreId id, CheckpointId ckpt)
+{
+    panic_if(full(), "SRL push on full log");
+    if (empty()) {
+        head_abs_ = id.abs;
+        tail_abs_ = id.abs;
+    }
+    panic_if(id.abs != tail_abs_,
+             "SRL push out of order: got abs %llu expected %llu",
+             static_cast<unsigned long long>(id.abs),
+             static_cast<unsigned long long>(tail_abs_));
+
+    SrlEntry &e = slots_[id.index];
+    e.seq = seq;
+    e.id = id;
+    e.ckpt = ckpt;
+    e.addr = 0;
+    e.size = 0;
+    e.data = 0;
+    e.data_valid = false;
+    e.dependent = true;
+    ++tail_abs_;
+    ++count_;
+    ++pushes;
+    ++dependentPushes;
+}
+
+void
+StoreRedoLog::fillDependent(StoreId id, Addr addr, std::uint8_t size,
+                            std::uint64_t data)
+{
+    panic_if(id.abs < head_abs_ || id.abs >= tail_abs_,
+             "fillDependent of non-live SRL slot (abs %llu)",
+             static_cast<unsigned long long>(id.abs));
+    SrlEntry &e = slots_[id.index];
+    panic_if(!e.dependent || e.data_valid,
+             "fillDependent of a non-reserved slot %u", id.index);
+    e.addr = addr;
+    e.size = size;
+    e.data = data;
+    e.data_valid = true;
+}
+
+const SrlEntry &
+StoreRedoLog::head() const
+{
+    panic_if(empty(), "SRL head() on empty log");
+    return slots_[(head_abs_ - 1) % params_.capacity];
+}
+
+bool
+StoreRedoLog::headReady() const
+{
+    return !empty() && head().data_valid;
+}
+
+SrlEntry
+StoreRedoLog::popHead()
+{
+    panic_if(!headReady(), "SRL popHead() without drainable head");
+    SrlEntry e = slots_[(head_abs_ - 1) % params_.capacity];
+    ++head_abs_;
+    --count_;
+    ++drains;
+    return e;
+}
+
+const SrlEntry *
+StoreRedoLog::peekSlot(std::uint32_t slot) const
+{
+    ++const_cast<stats::Scalar &>(indexedReads);
+    if (slot >= params_.capacity || count_ == 0)
+        return nullptr;
+    const SrlEntry &e = slots_[slot];
+    // Slot is live iff its entry's abs id lies in [head_abs_, tail_abs_).
+    if (e.id.abs >= head_abs_ && e.id.abs < tail_abs_ &&
+        e.id.index == slot) {
+        return &e;
+    }
+    return nullptr;
+}
+
+std::vector<SrlEntry>
+StoreRedoLog::squashAfter(SeqNum seq)
+{
+    std::vector<SrlEntry> removed;
+    while (count_ > 0) {
+        const SrlEntry &tail = slots_[(tail_abs_ - 2) % params_.capacity];
+        if (tail.seq == kInvalidSeqNum || tail.seq <= seq)
+            break;
+        removed.push_back(tail);
+        --tail_abs_;
+        --count_;
+    }
+    return removed;
+}
+
+void
+StoreRedoLog::clear()
+{
+    head_abs_ = 0;
+    tail_abs_ = 0;
+    count_ = 0;
+}
+
+} // namespace lsq
+} // namespace srl

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The Store Redo Log (paper Section 4) — the paper's central structure.
+ *
+ * A FIFO with *no CAM and no search* that records, in program order,
+ * every store that leaves the L1 STQ while a long-latency miss is being
+ * tolerated (or while earlier stores still sit in the SRL). Independent
+ * stores write their address and data on entry; dependent (poisoned)
+ * stores reserve their slot and fill it when they re-execute from the
+ * Slice Data Buffer. Once the head entry has data — and all program-
+ * order-prior loads have executed (the WAR fence, order_fence.hh) — it
+ * drains to the data cache, so memory updates occur exactly in program
+ * order.
+ *
+ * Slots are addressed by StoreId.index: because stores receive ring ids
+ * at allocation and enter the SRL in program order, a store's SRL slot
+ * is its id's index. The only random access is *indexed* (no search):
+ * the LCF hands a load the slot of the last aliasing store and a single
+ * external comparator validates address and age (indexed forwarding).
+ */
+
+#ifndef SRLSIM_LSQ_SRL_HH
+#define SRLSIM_LSQ_SRL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/store_id.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+/** One SRL record. */
+struct SrlEntry
+{
+    SeqNum seq = kInvalidSeqNum;
+    StoreId id = kNullStoreId;
+    CheckpointId ckpt = kInvalidCheckpoint;
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    std::uint64_t data = 0;
+    bool data_valid = false; ///< false for a dependent store's reserved slot
+    bool dependent = false;  ///< was miss-dependent (filled at re-execute)
+};
+
+struct SrlParams
+{
+    unsigned capacity = 1024;
+};
+
+class StoreRedoLog
+{
+  public:
+    explicit StoreRedoLog(const SrlParams &params);
+
+    unsigned capacity() const { return params_.capacity; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= params_.capacity; }
+
+    /**
+     * An independent store enters with address and data.
+     * @pre !full(); ids must arrive in allocation order.
+     */
+    void pushIndependent(SeqNum seq, StoreId id, CheckpointId ckpt,
+                         Addr addr, std::uint8_t size,
+                         std::uint64_t data);
+
+    /**
+     * A dependent store reserves its slot (no address/data yet); the
+     * slot index to record in the SDB is id.index.
+     */
+    void pushDependent(SeqNum seq, StoreId id, CheckpointId ckpt);
+
+    /**
+     * A re-executed dependent store fills its reserved slot.
+     * @pre the slot holds the matching reserved entry.
+     */
+    void fillDependent(StoreId id, Addr addr, std::uint8_t size,
+                       std::uint64_t data);
+
+    /** Head (oldest) entry. @pre !empty() */
+    const SrlEntry &head() const;
+
+    /** True iff the head entry has drainable data. */
+    bool headReady() const;
+
+    /** Pop the head entry. @pre headReady() */
+    SrlEntry popHead();
+
+    /**
+     * Indexed access for LCF indexed forwarding: the entry at @p slot if
+     * that slot is live, else nullptr. This is a RAM read, not a search.
+     */
+    const SrlEntry *peekSlot(std::uint32_t slot) const;
+
+    /**
+     * Squash all entries with seq > @p seq (checkpoint rollback);
+     * returns the ids of removed entries so the caller can unwind LCF
+     * counters.
+     */
+    std::vector<SrlEntry> squashAfter(SeqNum seq);
+
+    /** Drop everything (whole-pipeline reset). */
+    void clear();
+
+    /** Apply @p fn to live entries, oldest first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t a = head_abs_;
+        for (std::size_t i = 0; i < count_; ++i, ++a)
+            fn(slots_[(a - 1) % params_.capacity]);
+    }
+
+    stats::Scalar pushes;
+    stats::Scalar dependentPushes;
+    stats::Scalar drains;
+    stats::Scalar indexedReads;
+
+  private:
+    SrlParams params_;
+    std::vector<SrlEntry> slots_;
+    std::uint64_t head_abs_ = 0; ///< abs id of the head entry
+    std::uint64_t tail_abs_ = 0; ///< abs id the next push must carry
+    std::size_t count_ = 0;
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_SRL_HH

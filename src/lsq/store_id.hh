@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Store identifiers with wrap-around ordering (paper Section 3).
+ *
+ * A store's identifier is the SRL slot it was allocated plus a single
+ * wrap-around bit that flips each time allocation wraps past the end of
+ * the SRL ring. The relative program order of any two stores that are
+ * simultaneously tracked (i.e. less than one full ring apart) is then a
+ * simple magnitude comparison — no content search needed. Loads capture
+ * the identifier of the last store allocated before them, making
+ * load-vs-store age checks equally cheap.
+ *
+ * The struct also carries a simulator-only absolute allocation number
+ * used to *assert* that the hardware (wrap, index) comparison always
+ * agrees with ground truth; the model never bases decisions on it
+ * without the hardware compare agreeing.
+ */
+
+#ifndef SRLSIM_LSQ_STORE_ID_HH
+#define SRLSIM_LSQ_STORE_ID_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+struct StoreId
+{
+    std::uint32_t index = 0; ///< SRL slot
+    bool wrap = false;       ///< flips on each ring wrap-around
+    std::uint64_t abs = 0;   ///< ground truth (simulator-only)
+
+    bool
+    operator==(const StoreId &other) const
+    {
+        return index == other.index && wrap == other.wrap;
+    }
+};
+
+/**
+ * A StoreId value denoting "no store yet": abs == 0 is reserved as the
+ * null marker (real allocations start at abs 1) and is treated as older
+ * than every real store. Hardware would carry this as a separate
+ * "no prior store" valid bit alongside the identifier.
+ */
+inline constexpr StoreId kNullStoreId{0, false, 0};
+
+/** True iff @p id is the null ("no store") marker. */
+inline bool
+isNullStoreId(const StoreId &id)
+{
+    return id.abs == 0;
+}
+
+/**
+ * Hardware wrap-around magnitude comparison: true iff @p a was allocated
+ * strictly before @p b. Valid while both ids are within one ring of each
+ * other, which holds for ids that are simultaneously live. The null id
+ * is before every real id.
+ */
+inline bool
+allocatedBefore(const StoreId &a, const StoreId &b)
+{
+    if (isNullStoreId(a))
+        return !isNullStoreId(b);
+    if (isNullStoreId(b))
+        return false;
+
+    bool hw_result;
+    if (a.wrap == b.wrap)
+        hw_result = a.index < b.index;
+    else
+        hw_result = a.index > b.index;
+
+    // Equal ids are never "before".
+    if (a.index == b.index && a.wrap == b.wrap)
+        hw_result = false;
+
+    const bool truth = a.abs < b.abs;
+    panic_if(hw_result != truth,
+             "wrap-around StoreId compare diverged from ground truth "
+             "(a={%u,%d,%llu} b={%u,%d,%llu}): ids more than one ring "
+             "apart",
+             a.index, a.wrap, static_cast<unsigned long long>(a.abs),
+             b.index, b.wrap, static_cast<unsigned long long>(b.abs));
+    return hw_result;
+}
+
+/**
+ * Allocator handing out consecutive StoreIds over a ring of
+ * @p ring_size slots.
+ */
+class StoreIdAllocator
+{
+  public:
+    explicit StoreIdAllocator(std::uint32_t ring_size)
+        : ring_size_(ring_size)
+    {
+        panic_if(ring_size == 0, "StoreId ring must be non-empty");
+    }
+
+    /** Identifier the next allocation will receive. */
+    StoreId
+    peek() const
+    {
+        return {next_index_, wrap_, next_abs_};
+    }
+
+    /** Allocate the next identifier. */
+    StoreId
+    allocate()
+    {
+        const StoreId id = peek();
+        ++next_abs_;
+        if (++next_index_ == ring_size_) {
+            next_index_ = 0;
+            wrap_ = !wrap_;
+        }
+        return id;
+    }
+
+    /**
+     * Identifier of the most recently allocated store — what a newly
+     * allocated load records as its "nearest store". kNullStoreId when
+     * no store has been allocated yet.
+     */
+    StoreId
+    lastAllocated() const
+    {
+        if (next_abs_ == 1)
+            return kNullStoreId;
+        StoreId id{next_index_, wrap_, next_abs_ - 1};
+        if (id.index == 0) {
+            id.index = ring_size_ - 1;
+            id.wrap = !id.wrap;
+        } else {
+            --id.index;
+        }
+        return id;
+    }
+
+    /** True iff any store has ever been allocated. */
+    bool any() const { return next_abs_ != 1; }
+
+    /**
+     * Checkpoint-rollback support: make the next allocation hand out
+     * exactly @p id again (squashed stores release their ring slots).
+     */
+    void
+    rewind(const StoreId &id)
+    {
+        panic_if(isNullStoreId(id) || id.abs > next_abs_,
+                 "invalid StoreId rewind target");
+        next_index_ = id.index;
+        wrap_ = id.wrap;
+        next_abs_ = id.abs;
+    }
+
+    void
+    reset()
+    {
+        next_index_ = 0;
+        wrap_ = false;
+        next_abs_ = 1;
+    }
+
+  private:
+    std::uint32_t ring_size_;
+    std::uint32_t next_index_ = 0;
+    bool wrap_ = false;
+    std::uint64_t next_abs_ = 1; ///< abs 0 is the null marker
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_STORE_ID_HH

@@ -1,0 +1,167 @@
+#include "lsq/store_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+StoreQueue::StoreQueue(const StoreQueueParams &params) : params_(params)
+{
+    fatal_if(params_.capacity == 0, "%s: capacity must be > 0",
+             params_.name.c_str());
+}
+
+void
+StoreQueue::allocate(SeqNum seq, StoreId id, CheckpointId ckpt)
+{
+    panic_if(full(), "%s: allocate on full store queue",
+             params_.name.c_str());
+    StoreQueueEntry e;
+    e.seq = seq;
+    e.id = id;
+    e.ckpt = ckpt;
+    // Age-ordered insert: usually at the tail, but a slice store
+    // re-inserted from the SDB can be older than front-end stores that
+    // allocated while it waited (paper Section 4.3: re-inserted stores
+    // "re-allocate L1 STQ entries").
+    auto it = entries_.end();
+    while (it != entries_.begin() && std::prev(it)->seq > seq)
+        --it;
+    panic_if(it != entries_.begin() && std::prev(it)->seq == seq,
+             "%s: duplicate store allocation", params_.name.c_str());
+    entries_.insert(it, e);
+}
+
+void
+StoreQueue::pushEntry(const StoreQueueEntry &entry)
+{
+    panic_if(full(), "%s: pushEntry on full store queue",
+             params_.name.c_str());
+    panic_if(!entries_.empty() && entries_.back().seq >= entry.seq,
+             "%s: pushEntry out of program order", params_.name.c_str());
+    entries_.push_back(entry);
+}
+
+void
+StoreQueue::writeAddrData(SeqNum seq, Addr addr, std::uint8_t size,
+                          std::uint64_t data)
+{
+    StoreQueueEntry *e = find(seq);
+    panic_if(!e, "%s: writeAddrData for absent store %llu",
+             params_.name.c_str(), static_cast<unsigned long long>(seq));
+    e->addr = addr;
+    e->size = size;
+    e->data = data;
+    e->addr_valid = true;
+    e->data_valid = true;
+    e->poisoned = false;
+}
+
+void
+StoreQueue::markPoisoned(SeqNum seq)
+{
+    StoreQueueEntry *e = find(seq);
+    panic_if(!e, "%s: markPoisoned for absent store %llu",
+             params_.name.c_str(), static_cast<unsigned long long>(seq));
+    e->poisoned = true;
+}
+
+ForwardResult
+StoreQueue::forward(SeqNum load_seq, Addr addr, std::uint8_t size) const
+{
+    ++searches;
+    ForwardResult result;
+
+    // CAM: every older valid entry's comparators fire.
+    // Select: youngest matching store older than the load.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const StoreQueueEntry &e = *it;
+        if (e.seq >= load_seq)
+            continue;
+        ++entriesSearched;
+        if (!e.addr_valid) {
+            // Unknown address: a conventional OoO design lets the load
+            // speculate past it (the memory dependence predictor and
+            // load queue catch mistakes), so keep searching.
+            continue;
+        }
+        if (!bytesOverlap(e.addr, e.size, addr, size))
+            continue;
+        if (e.data_valid && !e.poisoned &&
+            bytesCover(e.addr, e.size, addr, size)) {
+            result.outcome = ForwardOutcome::kForward;
+            const unsigned shift =
+                static_cast<unsigned>(addr - e.addr) * 8;
+            const std::uint64_t full = e.data >> shift;
+            result.data = size >= 8
+                              ? full
+                              : (full & ((1ull << (8 * size)) - 1));
+            result.store_seq = e.seq;
+            result.store_id = e.id;
+            ++forwards;
+        } else {
+            // Partial coverage, or data not ready, or poisoned:
+            // the load cannot be satisfied here.
+            result.outcome = ForwardOutcome::kBlocked;
+            result.store_seq = e.seq;
+            result.store_id = e.id;
+            ++blocks;
+        }
+        return result;
+    }
+    return result;
+}
+
+StoreQueueEntry *
+StoreQueue::find(SeqNum seq)
+{
+    for (auto &e : entries_) {
+        if (e.seq == seq)
+            return &e;
+    }
+    return nullptr;
+}
+
+const StoreQueueEntry &
+StoreQueue::head() const
+{
+    panic_if(entries_.empty(), "%s: head() on empty store queue",
+             params_.name.c_str());
+    return entries_.front();
+}
+
+StoreQueueEntry
+StoreQueue::popHead()
+{
+    panic_if(entries_.empty(), "%s: popHead() on empty store queue",
+             params_.name.c_str());
+    StoreQueueEntry e = entries_.front();
+    entries_.pop_front();
+    return e;
+}
+
+std::vector<StoreQueueEntry>
+StoreQueue::squashAfter(SeqNum seq)
+{
+    std::vector<StoreQueueEntry> removed;
+    while (!entries_.empty() && entries_.back().seq > seq) {
+        removed.push_back(entries_.back());
+        entries_.pop_back();
+    }
+    return removed;
+}
+
+void
+StoreQueue::forEach(
+    const std::function<void(const StoreQueueEntry &)> &fn) const
+{
+    for (const auto &e : entries_)
+        fn(e);
+}
+
+} // namespace lsq
+} // namespace srl

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A conventional CAM-searched store queue (paper Section 2.3 / Figure 3).
+ *
+ * This one class models every CAM store-queue flavor in the evaluation by
+ * parameter choice:
+ *  - the 48-entry, 3-cycle primary L1 STQ used by all configurations;
+ *  - the monolithic 128/256/512/1K STQs of the Figure 2 sweep;
+ *  - the "ideal" 1K-entry, 3-cycle STQ of Figure 6;
+ *  - the hierarchical design's 1K-entry, 8-cycle L2 STQ (wrapped together
+ *    with a Membership Test Buffer in hier_stq.hh).
+ *
+ * Entries live in program (allocation) order. A load search is a CAM
+ * match of the load address against all older stores with known
+ * addresses, youngest-first select, with byte-granularity coverage:
+ * a single fully-covering store forwards; partial coverage or a matching
+ * store with unknown data blocks the load (it must wait for the store to
+ * drain to the cache). CAM activity counters feed the power model.
+ */
+
+#ifndef SRLSIM_LSQ_STORE_QUEUE_HH
+#define SRLSIM_LSQ_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lsq/store_id.hh"
+
+namespace srl
+{
+namespace lsq
+{
+
+/** One store queue entry. */
+struct StoreQueueEntry
+{
+    SeqNum seq = kInvalidSeqNum;
+    StoreId id = kNullStoreId;       ///< SRL-ring identifier
+    CheckpointId ckpt = kInvalidCheckpoint;
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    std::uint64_t data = 0;
+    bool addr_valid = false; ///< address computed
+    bool data_valid = false; ///< data available
+    bool poisoned = false;   ///< miss-dependent (CFP slice member)
+};
+
+/** Outcome of a store-to-load forwarding search. */
+enum class ForwardOutcome : std::uint8_t
+{
+    kNoMatch,  ///< no older store overlaps: read the cache
+    kForward,  ///< a single store fully covers the load: data valid
+    kBlocked,  ///< overlap without forwardable data: load must wait
+};
+
+struct ForwardResult
+{
+    ForwardOutcome outcome = ForwardOutcome::kNoMatch;
+    std::uint64_t data = 0;        ///< valid when kForward
+    SeqNum store_seq = kInvalidSeqNum; ///< matching/blocking store
+    StoreId store_id = kNullStoreId;
+};
+
+/** Do the byte ranges [a, a+as) and [b, b+bs) overlap? */
+inline bool
+bytesOverlap(Addr a, unsigned as, Addr b, unsigned bs)
+{
+    return a < b + bs && b < a + as;
+}
+
+/** Does [outer, outer+os) fully cover [inner, inner+is)? */
+inline bool
+bytesCover(Addr outer, unsigned os, Addr inner, unsigned is)
+{
+    return outer <= inner && inner + is <= outer + os;
+}
+
+struct StoreQueueParams
+{
+    std::string name = "stq";
+    unsigned capacity = 48;
+    unsigned forward_latency = 3; ///< cycles to forward on a hit
+};
+
+class StoreQueue
+{
+  public:
+    explicit StoreQueue(const StoreQueueParams &params);
+
+    const StoreQueueParams &params() const { return params_; }
+    unsigned capacity() const { return params_.capacity; }
+    unsigned forwardLatency() const { return params_.forward_latency; }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= params_.capacity; }
+
+    /**
+     * Allocate an entry at the tail (program order). @pre !full()
+     */
+    void allocate(SeqNum seq, StoreId id, CheckpointId ckpt);
+
+    /** Insert a fully-formed entry at the tail (hierarchical overflow). */
+    void pushEntry(const StoreQueueEntry &entry);
+
+    /** The store executes: record address and data. */
+    void writeAddrData(SeqNum seq, Addr addr, std::uint8_t size,
+                       std::uint64_t data);
+
+    /** Mark the store poisoned (miss-dependent). */
+    void markPoisoned(SeqNum seq);
+
+    /**
+     * CAM search on behalf of a load (@p load_seq, @p addr, @p size):
+     * youngest older store wins. Updates CAM activity stats.
+     */
+    ForwardResult forward(SeqNum load_seq, Addr addr,
+                          std::uint8_t size) const;
+
+    /** Entry for @p seq, or nullptr. */
+    StoreQueueEntry *find(SeqNum seq);
+
+    /** Head (oldest) entry. @pre !empty() */
+    const StoreQueueEntry &head() const;
+
+    /** Pop the head entry. @pre !empty() */
+    StoreQueueEntry popHead();
+
+    /**
+     * Remove all entries with seq > @p seq; returns the removed entries
+     * (youngest first) so callers can unwind side structures (MTB).
+     */
+    std::vector<StoreQueueEntry> squashAfter(SeqNum seq);
+
+    /** Apply @p fn to each entry, oldest first. */
+    void forEach(const std::function<void(const StoreQueueEntry &)> &fn)
+        const;
+
+    void clear() { entries_.clear(); }
+
+    // CAM activity (power model inputs).
+    mutable stats::Scalar searches;        ///< load lookups performed
+    mutable stats::Scalar entriesSearched; ///< CAM cells activated
+    mutable stats::Scalar forwards;
+    mutable stats::Scalar blocks;
+    stats::Scalar allocFails; ///< full-queue allocation stalls observed
+
+  private:
+    StoreQueueParams params_;
+    std::deque<StoreQueueEntry> entries_; ///< oldest at front
+};
+
+} // namespace lsq
+} // namespace srl
+
+#endif // SRLSIM_LSQ_STORE_QUEUE_HH

@@ -1,0 +1,231 @@
+#include "memsys/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    fatal_if(!isPowerOf2(params_.line_bytes), "%s: line size must be a "
+             "power of two", params_.name.c_str());
+    fatal_if(params_.assoc == 0, "%s: associativity must be > 0",
+             params_.name.c_str());
+    const std::uint64_t lines = params_.size_bytes / params_.line_bytes;
+    fatal_if(lines % params_.assoc != 0,
+             "%s: size/line/assoc mismatch", params_.name.c_str());
+    num_sets_ = static_cast<unsigned>(lines / params_.assoc);
+    fatal_if(!isPowerOf2(num_sets_), "%s: set count must be a power of "
+             "two", params_.name.c_str());
+    line_shift_ = floorLog2(params_.line_bytes);
+    lines_.resize(lines);
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr >> line_shift_ << line_shift_;
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> line_shift_) & (num_sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> line_shift_ >> floorLog2(num_sets_);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult result;
+    if (Line *line = findLine(addr)) {
+        line->lru = ++use_stamp_;
+        if (is_write)
+            line->dirty = true;
+        ++hits;
+        result.hit = true;
+        return result;
+    }
+
+    ++misses;
+
+    // Allocate: pick the LRU way, preferring invalid ways.
+    const unsigned set = setIndex(addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++writebacks;
+        result.writeback = true;
+        result.victim_line = (victim->tag << floorLog2(num_sets_) | set)
+                             << line_shift_;
+    }
+
+    victim->tag = tagOf(addr);
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->speculative = false;
+    victim->spec_ckpt = kInvalidCheckpoint;
+    victim->lru = ++use_stamp_;
+    return result;
+}
+
+bool
+Cache::touch(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->lru = ++use_stamp_;
+        return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+Cache::fill(Addr addr)
+{
+    CacheAccessResult result;
+    if (findLine(addr)) {
+        result.hit = true;
+        return result;
+    }
+    return access(addr, false);
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        line->speculative = false;
+        line->spec_ckpt = kInvalidCheckpoint;
+    }
+}
+
+bool
+Cache::markSpeculative(Addr addr, CheckpointId ckpt)
+{
+    Line *line = findLine(addr);
+    panic_if(!line, "markSpeculative on absent line %#llx",
+             static_cast<unsigned long long>(addr));
+    if (line->speculative && line->spec_ckpt != ckpt)
+        return false; // single-version constraint: caller must stall
+    line->speculative = true;
+    line->spec_ckpt = ckpt;
+    return true;
+}
+
+bool
+Cache::isSpeculative(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->speculative;
+}
+
+bool
+Cache::isSpeculativeFor(Addr addr, CheckpointId ckpt) const
+{
+    const Line *line = findLine(addr);
+    return line && line->speculative && line->spec_ckpt == ckpt;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->dirty;
+}
+
+void
+Cache::cleanLine(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = false;
+}
+
+void
+Cache::commitCheckpoint(CheckpointId ckpt)
+{
+    for (Line &line : lines_) {
+        if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
+            line.speculative = false;
+            line.spec_ckpt = kInvalidCheckpoint;
+        }
+    }
+}
+
+unsigned
+Cache::squashCheckpoint(CheckpointId ckpt)
+{
+    unsigned discarded = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
+            line.valid = false;
+            line.dirty = false;
+            line.speculative = false;
+            line.spec_ckpt = kInvalidCheckpoint;
+            ++discarded;
+        }
+    }
+    return discarded;
+}
+
+unsigned
+Cache::squashAllSpeculative()
+{
+    unsigned discarded = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.speculative) {
+            line.valid = false;
+            line.dirty = false;
+            line.speculative = false;
+            line.spec_ckpt = kInvalidCheckpoint;
+            ++discarded;
+        }
+    }
+    return discarded;
+}
+
+} // namespace memsys
+} // namespace srl

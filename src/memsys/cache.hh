@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A timing-only set-associative cache: tags, valid/dirty state and true
+ * LRU, with no data array (the architectural image lives in MainMemory).
+ *
+ * The cache additionally models the per-checkpoint speculative state the
+ * paper's Section 4.3 describes for the alternative "temporary updates in
+ * the data cache" design: a speculative bit and a speculatively-valid bit
+ * per line, bulk-clearable, with the constraint that only one checkpoint's
+ * stores may own a given speculative line.
+ */
+
+#ifndef SRLSIM_MEMSYS_CACHE_HH
+#define SRLSIM_MEMSYS_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned line_bytes = 64;
+    unsigned hit_latency = 3;
+};
+
+/** Result of a cache lookup/allocation. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty victim was evicted
+    Addr victim_line = 0;   ///< line address of the dirty victim
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const;
+
+    /** Probe without side effects. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Access for a read or write: on hit, updates LRU (and dirty on
+     * write); on miss, allocates the line, evicting the LRU victim.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Touch (LRU update) on hit only; never allocates. */
+    bool touch(Addr addr);
+
+    /** Allocate @p addr if absent (e.g. prefetch fill). */
+    CacheAccessResult fill(Addr addr);
+
+    /** Invalidate the line holding @p addr if present. */
+    void invalidate(Addr addr);
+
+    /**
+     * Mark the line speculative on behalf of @p ckpt. Returns false and
+     * changes nothing if the line is already speculative for a
+     * *different* checkpoint (the single-version constraint: the store
+     * must stall).
+     *
+     * @pre the line is present.
+     */
+    bool markSpeculative(Addr addr, CheckpointId ckpt);
+
+    /** True iff the line holding @p addr is currently speculative. */
+    bool isSpeculative(Addr addr) const;
+
+    /** True iff the line is speculative on behalf of @p ckpt. */
+    bool isSpeculativeFor(Addr addr, CheckpointId ckpt) const;
+
+    /** True iff the line holding @p addr is dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** Clear the dirty bit of the line holding @p addr, if present. */
+    void cleanLine(Addr addr);
+
+    /**
+     * Bulk-commit checkpoint @p ckpt: its speculative lines become
+     * committed (speculative bits cleared, dirty retained).
+     */
+    void commitCheckpoint(CheckpointId ckpt);
+
+    /**
+     * Bulk-squash checkpoint @p ckpt: its speculative lines are
+     * invalidated (the temporary data is discarded). Returns the number
+     * of lines discarded.
+     */
+    unsigned squashCheckpoint(CheckpointId ckpt);
+
+    /** Discard *all* speculative lines (redo-phase start). */
+    unsigned squashAllSpeculative();
+
+    unsigned numSets() const { return num_sets_; }
+    unsigned hitLatency() const { return params_.hit_latency; }
+
+    // Stats, exposed for experiment harnesses.
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar writebacks;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool speculative = false;
+        CheckpointId spec_ckpt = kInvalidCheckpoint;
+        std::uint64_t lru = 0; ///< last-use stamp; larger = more recent
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheParams params_;
+    unsigned num_sets_;
+    unsigned line_shift_;
+    std::vector<Line> lines_; ///< num_sets_ x assoc, row-major
+    std::uint64_t use_stamp_ = 0;
+};
+
+} // namespace memsys
+} // namespace srl
+
+#endif // SRLSIM_MEMSYS_CACHE_HH

@@ -1,0 +1,132 @@
+#include "memsys/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params, MainMemory &mem)
+    : params_(params), mem_(mem), l1_(params.l1), l2_(params.l2),
+      prefetcher_(params.prefetch)
+{
+}
+
+void
+Hierarchy::prune(Cycle now)
+{
+    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+        if (it->second <= now)
+            it = mshrs_.erase(it);
+        else
+            ++it;
+    }
+}
+
+unsigned
+Hierarchy::outstandingMisses(Cycle now)
+{
+    prune(now);
+    return static_cast<unsigned>(mshrs_.size());
+}
+
+LoadResult
+Hierarchy::load(Addr addr, Cycle now)
+{
+    ++loads;
+    LoadResult result;
+    const Addr line = l1_.lineAddr(addr);
+
+    // A fill already in flight for this line? Tags are installed at
+    // request time, so this check must precede the hit path: a load to
+    // a pending line merges into the outstanding miss and waits for
+    // its data.
+    prune(now);
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        ++mshrMerges;
+        l1_.touch(line);
+        result.level = ServiceLevel::kMemory;
+        result.ready = it->second;
+        return result;
+    }
+
+    if (l1_.touch(line)) {
+        ++l1Hits;
+        result.level = ServiceLevel::kL1;
+        result.ready = now + l1_.hitLatency();
+        return result;
+    }
+
+    // The stream prefetcher trains on L1 demand misses (hit or miss in
+    // L2), keeping armed streams running ahead of the demand stream.
+    if (params_.enable_prefetch) {
+        prefetcher_.observeMiss(addr, [this](Addr pf_line) {
+            l2_.fill(pf_line);
+        });
+    }
+
+    if (l2_.touch(line)) {
+        ++l2Hits;
+        result.level = ServiceLevel::kL2;
+        result.ready = now + l2_.hitLatency();
+        l1_.fill(line);
+        return result;
+    }
+
+    // Miss to memory: needs an MSHR.
+    if (mshrs_.size() >= params_.num_mshrs) {
+        ++mshrFullEvents;
+        result.mshr_full = true;
+        return result;
+    }
+
+    ++memMisses;
+    const Cycle ready = now + params_.memory_latency;
+    mshrs_.emplace(line, ready);
+    l2_.fill(line);
+    l1_.fill(line);
+    result.level = ServiceLevel::kMemory;
+    result.ready = ready;
+    return result;
+}
+
+unsigned
+Hierarchy::storeDrain(Addr addr, Cycle now)
+{
+    (void)now;
+    ++storeDrains;
+    const Addr line = l1_.lineAddr(addr);
+    const auto result = l1_.access(line, true);
+    if (result.writeback)
+        l2_.access(result.victim_line, true);
+    if (!result.hit) {
+        // Write-allocate fill from L2/memory happens in the background;
+        // keep L2 tags warm.
+        l2_.fill(line);
+    }
+    return l1_.hitLatency();
+}
+
+bool
+Hierarchy::writebackLine(Addr addr)
+{
+    const Addr line = l1_.lineAddr(addr);
+    if (l1_.isDirty(line)) {
+        l1_.cleanLine(line);
+        l2_.access(line, true);
+        ++l1_.writebacks;
+        return true;
+    }
+    return false;
+}
+
+void
+Hierarchy::snoopInvalidate(Addr addr)
+{
+    l1_.invalidate(l1_.lineAddr(addr));
+    l2_.invalidate(l2_.lineAddr(addr));
+}
+
+} // namespace memsys
+} // namespace srl

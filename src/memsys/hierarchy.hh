@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The three-level memory hierarchy of the baseline machine (Table 1):
+ * 32 KB / 3-cycle L1 data cache, 1 MB / 8-cycle unified L2, and a flat
+ * 100 ns main memory (800 core cycles at 8 GHz), with MSHR-tracked miss
+ * merging and a 16-stream prefetcher filling the L2.
+ *
+ * Caches are timing-only; architectural data lives in MainMemory and is
+ * written strictly in program order by whichever store-queue model is
+ * active. Loads that reach the hierarchy report which level serviced
+ * them and when their data is ready; a load serviced by main memory is
+ * the paper's "long latency miss" that switches the core into Continual
+ * Flow (slice) mode.
+ */
+
+#ifndef SRLSIM_MEMSYS_HIERARCHY_HH
+#define SRLSIM_MEMSYS_HIERARCHY_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memsys/cache.hh"
+#include "memsys/main_memory.hh"
+#include "memsys/prefetcher.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+struct HierarchyParams
+{
+    CacheParams l1{"l1d", 32 * 1024, 8, 64, 3};
+    CacheParams l2{"l2", 1024 * 1024, 16, 64, 8};
+    unsigned memory_latency = 800; ///< request-to-use, core cycles
+    unsigned num_mshrs = 32;       ///< outstanding memory misses
+    bool enable_prefetch = true;
+    PrefetcherParams prefetch{};
+};
+
+/** Which level serviced a load. */
+enum class ServiceLevel : std::uint8_t
+{
+    kL1,
+    kL2,
+    kMemory,
+};
+
+struct LoadResult
+{
+    bool mshr_full = false;    ///< no MSHR available; retry later
+    ServiceLevel level = ServiceLevel::kL1;
+    Cycle ready = 0;           ///< cycle the data is usable
+};
+
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params, MainMemory &mem);
+
+    /** Timing access for a load issued at @p now. */
+    LoadResult load(Addr addr, Cycle now);
+
+    /**
+     * A store draining to the memory system (program order commit
+     * point): write-allocates in L1 and marks the line dirty. Returns
+     * the store-visible latency (L1 hit latency; misses complete in the
+     * background without stalling the drain).
+     */
+    unsigned storeDrain(Addr addr, Cycle now);
+
+    /**
+     * Write back any dirty copy of the line holding @p addr to the next
+     * level and clean it (used before temporary in-D$ updates, Sec 6.5).
+     * @return true if a writeback actually happened.
+     */
+    bool writebackLine(Addr addr);
+
+    /** Invalidate @p addr in both cache levels (external snoop). */
+    void snoopInvalidate(Addr addr);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    MainMemory &mem() { return mem_; }
+    const HierarchyParams &params() const { return params_; }
+
+    /** Outstanding memory-miss count at @p now (expired MSHRs pruned). */
+    unsigned outstandingMisses(Cycle now);
+
+    stats::Scalar loads;
+    stats::Scalar l1Hits;
+    stats::Scalar l2Hits;
+    stats::Scalar memMisses;
+    stats::Scalar mshrMerges;
+    stats::Scalar mshrFullEvents;
+    stats::Scalar storeDrains;
+
+  private:
+    void prune(Cycle now);
+
+    HierarchyParams params_;
+    MainMemory &mem_;
+    Cache l1_;
+    Cache l2_;
+    StreamPrefetcher prefetcher_;
+    /** line addr -> cycle its memory fill completes */
+    std::map<Addr, Cycle> mshrs_;
+};
+
+} // namespace memsys
+} // namespace srl
+
+#endif // SRLSIM_MEMSYS_HIERARCHY_HH

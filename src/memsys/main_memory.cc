@@ -1,0 +1,56 @@
+#include "memsys/main_memory.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    const auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page &
+MainMemory::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "bad memory read size %u", size);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        const Page *page = findPage(a);
+        const std::uint8_t byte =
+            page ? (*page)[a & (kPageBytes - 1)] : 0;
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    panic_if(size == 0 || size > 8, "bad memory write size %u", size);
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        Page &page = touchPage(a);
+        page[a & (kPageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+} // namespace memsys
+} // namespace srl

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional backing store for the simulated physical address space.
+ *
+ * The architectural memory image lives here; timing caches in this
+ * directory track only tags/state. Speculative values (L1 STQ entries,
+ * forwarding-cache contents, SRL-recorded store data) live in their own
+ * structures and only reach MainMemory when a store drains in program
+ * order — which is exactly the ordering discipline the Store Redo Log
+ * enforces.
+ *
+ * Storage is sparse (4 KiB pages allocated on touch) so workloads can
+ * scatter accesses across a large address space cheaply.
+ */
+
+#ifndef SRLSIM_MEMSYS_MAIN_MEMORY_HH
+#define SRLSIM_MEMSYS_MAIN_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+class MainMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::size_t kPageBytes = 1ull << kPageShift;
+
+    /**
+     * Read @p size bytes (1/2/4/8) at @p addr as a little-endian value.
+     * Untouched memory reads as zero.
+     */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Number of pages materialized so far (for tests/stats). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Reset to the all-zero image. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace memsys
+} // namespace srl
+
+#endif // SRLSIM_MEMSYS_MAIN_MEMORY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stream-based hardware data prefetcher (Table 1: "Stream-based, 16
+ * streams"). Detects unit-line-stride streams from the demand-miss
+ * sequence and runs a configurable prefetch depth ahead, filling the L2.
+ */
+
+#ifndef SRLSIM_MEMSYS_PREFETCHER_HH
+#define SRLSIM_MEMSYS_PREFETCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace memsys
+{
+
+struct PrefetcherParams
+{
+    unsigned num_streams = 16;
+    unsigned line_bytes = 64;
+    unsigned train_threshold = 2; ///< consecutive next-line misses to arm
+    unsigned degree = 16;         ///< lines fetched ahead once armed
+    unsigned match_slack = 8;     ///< lines of out-of-order skew tolerated
+};
+
+class StreamPrefetcher
+{
+  public:
+    using IssueFn = std::function<void(Addr line_addr)>;
+
+    explicit StreamPrefetcher(const PrefetcherParams &params);
+
+    /**
+     * Observe a demand miss at @p addr; may synchronously call
+     * @p issue for each line to prefetch.
+     */
+    void observeMiss(Addr addr, const IssueFn &issue);
+
+    stats::Scalar issued;
+    stats::Scalar streamsAllocated;
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr next_line = 0;     ///< expected next demand line
+        unsigned confidence = 0;
+        Addr prefetch_edge = 0; ///< highest line prefetched so far
+        std::uint64_t lru = 0;
+    };
+
+    PrefetcherParams params_;
+    std::vector<Stream> streams_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace memsys
+} // namespace srl
+
+#endif // SRLSIM_MEMSYS_PREFETCHER_HH

@@ -1,0 +1,155 @@
+#include "predictor/branch.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace predictor
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+std::uint8_t
+bump2(std::uint8_t c, bool up)
+{
+    if (up)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+GsharePredictor::GsharePredictor(unsigned table_entries,
+                                 unsigned history_bits)
+    : table_(table_entries, 1), history_bits_(history_bits)
+{
+    fatal_if(!isPowerOf2(table_entries),
+             "gshare table size must be a power of two");
+}
+
+unsigned
+GsharePredictor::index(Addr pc) const
+{
+    const std::uint64_t h = history_ & mask(history_bits_);
+    return static_cast<unsigned>(((pc >> 2) ^ h) & (table_.size() - 1));
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    ++lookups;
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    const unsigned idx = index(pc);
+    if ((table_[idx] >= 2) != taken)
+        ++mispredicts;
+    table_[idx] = bump2(table_[idx], taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+PerceptronPredictor::PerceptronPredictor(unsigned num_perceptrons,
+                                         unsigned history_bits)
+    : num_perceptrons_(num_perceptrons), history_bits_(history_bits),
+      threshold_(static_cast<int>(1.93 * history_bits + 14)),
+      weights_(static_cast<std::size_t>(num_perceptrons) *
+               (history_bits + 1))
+{
+    fatal_if(!isPowerOf2(num_perceptrons),
+             "perceptron count must be a power of two");
+    fatal_if(history_bits_ > 62, "history too long");
+}
+
+int
+PerceptronPredictor::output(Addr pc) const
+{
+    const std::size_t row =
+        static_cast<std::size_t>((pc >> 2) & (num_perceptrons_ - 1)) *
+        (history_bits_ + 1);
+    int y = weights_[row]; // bias weight
+    for (unsigned i = 0; i < history_bits_; ++i) {
+        const bool bit = (history_ >> i) & 1;
+        y += bit ? weights_[row + 1 + i] : -weights_[row + 1 + i];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::predict(Addr pc)
+{
+    ++lookups;
+    return output(pc) >= 0;
+}
+
+void
+PerceptronPredictor::update(Addr pc, bool taken)
+{
+    const int y = output(pc);
+    const bool predicted = y >= 0;
+    if (predicted != taken)
+        ++mispredicts;
+
+    if (predicted != taken || std::abs(y) <= threshold_) {
+        const std::size_t row =
+            static_cast<std::size_t>((pc >> 2) &
+                                     (num_perceptrons_ - 1)) *
+            (history_bits_ + 1);
+        const int t = taken ? 1 : -1;
+        auto bump = [](std::int16_t w, int delta) {
+            const int v = std::clamp(w + delta, -128, 127);
+            return static_cast<std::int16_t>(v);
+        };
+        weights_[row] = bump(weights_[row], t);
+        for (unsigned i = 0; i < history_bits_; ++i) {
+            const int x = ((history_ >> i) & 1) ? 1 : -1;
+            weights_[row + 1 + i] = bump(weights_[row + 1 + i], t * x);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+HybridPredictor::HybridPredictor(unsigned gshare_entries,
+                                 unsigned num_perceptrons,
+                                 unsigned chooser_entries)
+    : gshare_(gshare_entries), perceptron_(num_perceptrons),
+      chooser_(chooser_entries, 2)
+{
+    fatal_if(!isPowerOf2(chooser_entries),
+             "chooser table size must be a power of two");
+}
+
+bool
+HybridPredictor::predict(Addr pc)
+{
+    ++lookups;
+    last_gshare_ = gshare_.predict(pc);
+    last_perceptron_ = perceptron_.predict(pc);
+    const auto idx = (pc >> 2) & (chooser_.size() - 1);
+    return chooser_[idx] >= 2 ? last_perceptron_ : last_gshare_;
+}
+
+void
+HybridPredictor::update(Addr pc, bool taken)
+{
+    const auto idx = (pc >> 2) & (chooser_.size() - 1);
+    const bool chose_perceptron = chooser_[idx] >= 2;
+    const bool prediction =
+        chose_perceptron ? last_perceptron_ : last_gshare_;
+    if (prediction != taken)
+        ++mispredicts;
+    if (last_gshare_ != last_perceptron_)
+        chooser_[idx] = bump2(chooser_[idx], last_perceptron_ == taken);
+    gshare_.update(pc, taken);
+    perceptron_.update(pc, taken);
+}
+
+} // namespace predictor
+} // namespace srl

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Branch direction predictors for the front end (Table 1: gshare-
+ * perceptron hybrid; 64K-entry gshare, 256 perceptrons).
+ *
+ * The trace is dynamically resolved, so the predictor's job in srlsim is
+ * purely timing: a mispredicted branch charges the pipeline-restart
+ * penalty and, on the CPR substrate, squashes back to the containing
+ * checkpoint.
+ */
+
+#ifndef SRLSIM_PREDICTOR_BRANCH_HH
+#define SRLSIM_PREDICTOR_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace predictor
+{
+
+/** Abstract direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved direction; also advances history. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    stats::Scalar lookups;
+    stats::Scalar mispredicts;
+};
+
+/** Classic gshare: global history XOR PC indexing a 2-bit counter table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned table_entries = 64 * 1024,
+                             unsigned history_bits = 16);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    unsigned index(Addr pc) const;
+
+    std::vector<std::uint8_t> table_; ///< 2-bit saturating counters
+    unsigned history_bits_;
+    std::uint64_t history_ = 0;
+};
+
+/** Single-layer perceptron predictor (Jimenez & Lin). */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    explicit PerceptronPredictor(unsigned num_perceptrons = 256,
+                                 unsigned history_bits = 24);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    int output(Addr pc) const;
+
+    unsigned num_perceptrons_;
+    unsigned history_bits_;
+    int threshold_;
+    std::vector<std::int16_t> weights_; ///< (history_bits+1) per row
+    std::uint64_t history_ = 0;
+};
+
+/**
+ * Gshare-perceptron hybrid with a 2-bit chooser table, trained only when
+ * the components disagree.
+ */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    HybridPredictor(unsigned gshare_entries = 64 * 1024,
+                    unsigned num_perceptrons = 256,
+                    unsigned chooser_entries = 4096);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    GsharePredictor gshare_;
+    PerceptronPredictor perceptron_;
+    std::vector<std::uint8_t> chooser_; ///< 2-bit: >=2 favors perceptron
+    // Last predictions, keyed implicitly by call order (predict is
+    // always followed by update for the same branch in this simulator).
+    bool last_gshare_ = false;
+    bool last_perceptron_ = false;
+};
+
+} // namespace predictor
+} // namespace srl
+
+#endif // SRLSIM_PREDICTOR_BRANCH_HH

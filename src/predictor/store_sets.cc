@@ -1,0 +1,97 @@
+#include "predictor/store_sets.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace predictor
+{
+
+StoreSets::StoreSets(const StoreSetsParams &params)
+    : params_(params), ssit_(params.ssit_entries, kNoSet),
+      lfst_(params.lfst_entries, kInvalidSeqNum)
+{
+    fatal_if(!isPowerOf2(params.ssit_entries),
+             "SSIT size must be a power of two");
+    fatal_if(params.lfst_entries == 0, "LFST must be non-empty");
+}
+
+unsigned
+StoreSets::ssitIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (ssit_.size() - 1));
+}
+
+void
+StoreSets::maybeClear()
+{
+    ++accesses_;
+    if (params_.clear_interval && accesses_ % params_.clear_interval == 0) {
+        std::fill(ssit_.begin(), ssit_.end(), kNoSet);
+        std::fill(lfst_.begin(), lfst_.end(), kInvalidSeqNum);
+    }
+}
+
+void
+StoreSets::storeFetched(Addr pc, SeqNum seq)
+{
+    maybeClear();
+    const std::uint16_t ssid = ssit_[ssitIndex(pc)];
+    if (ssid != kNoSet)
+        lfst_[ssid % lfst_.size()] = seq;
+}
+
+void
+StoreSets::storeRetired(SeqNum seq)
+{
+    for (auto &e : lfst_) {
+        if (e == seq)
+            e = kInvalidSeqNum;
+    }
+}
+
+SeqNum
+StoreSets::predict(Addr pc)
+{
+    maybeClear();
+    ++predictions;
+    const std::uint16_t ssid = ssit_[ssitIndex(pc)];
+    if (ssid == kNoSet)
+        return kInvalidSeqNum;
+    const SeqNum dep = lfst_[ssid % lfst_.size()];
+    if (dep != kInvalidSeqNum)
+        ++dependencesPredicted;
+    return dep;
+}
+
+void
+StoreSets::trainViolation(Addr load_pc, Addr store_pc)
+{
+    ++violationsTrained;
+    const unsigned li = ssitIndex(load_pc);
+    const unsigned si = ssitIndex(store_pc);
+    std::uint16_t lset = ssit_[li];
+    std::uint16_t sset = ssit_[si];
+
+    if (lset == kNoSet && sset == kNoSet) {
+        const std::uint16_t ssid = next_ssid_++ % params_.lfst_entries;
+        ssit_[li] = ssid;
+        ssit_[si] = ssid;
+    } else if (lset == kNoSet) {
+        ssit_[li] = sset;
+    } else if (sset == kNoSet) {
+        ssit_[si] = lset;
+    } else {
+        // Both have sets: merge into the smaller SSID (declining-set
+        // rule from the original paper).
+        const std::uint16_t winner = std::min(lset, sset);
+        ssit_[li] = winner;
+        ssit_[si] = winner;
+    }
+}
+
+} // namespace predictor
+} // namespace srl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Store-sets memory dependence predictor (Chrysos & Emer, ISCA '98;
+ * Table 1: "Memory dependence pred: Store sets").
+ *
+ * Two tables:
+ *  - SSIT (Store Set ID Table), PC-indexed: maps a load or store PC to
+ *    its store-set identifier (SSID).
+ *  - LFST (Last Fetched Store Table), SSID-indexed: the most recently
+ *    fetched store belonging to that set.
+ *
+ * In the CFP machine the predictor answers one question at load
+ * allocate: "does this load depend on a store that is still pending?"
+ * If the returned store is poisoned (miss-dependent), the load is
+ * steered into the slice instead of executing ahead — a misprediction
+ * either way is what the secondary load buffer exists to catch
+ * (paper Fig. 4 cases v and vi).
+ */
+
+#ifndef SRLSIM_PREDICTOR_STORE_SETS_HH
+#define SRLSIM_PREDICTOR_STORE_SETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srl
+{
+namespace predictor
+{
+
+struct StoreSetsParams
+{
+    unsigned ssit_entries = 4096;
+    unsigned lfst_entries = 256;
+    /** Periodic whole-table clear interval in accesses (0 = never). */
+    std::uint64_t clear_interval = 1u << 20;
+};
+
+class StoreSets
+{
+  public:
+    static constexpr std::uint16_t kNoSet = 0xffff;
+
+    explicit StoreSets(const StoreSetsParams &params);
+
+    /**
+     * A store at @p pc with dynamic sequence number @p seq is fetched:
+     * records it as the last fetched store of its set (if it has one).
+     */
+    void storeFetched(Addr pc, SeqNum seq);
+
+    /**
+     * A store with sequence @p seq leaves the window (completed or
+     * squashed): clear any LFST entry still naming it.
+     */
+    void storeRetired(SeqNum seq);
+
+    /**
+     * Predict the store (by sequence number) the load at @p pc depends
+     * on. @return kInvalidSeqNum when no dependence is predicted.
+     */
+    SeqNum predict(Addr pc);
+
+    /**
+     * Train on a detected memory-order violation between the load at
+     * @p load_pc and the store at @p store_pc: merge their store sets
+     * (assigning new ones as needed).
+     */
+    void trainViolation(Addr load_pc, Addr store_pc);
+
+    stats::Scalar predictions;
+    stats::Scalar dependencesPredicted;
+    stats::Scalar violationsTrained;
+
+  private:
+    unsigned ssitIndex(Addr pc) const;
+    void maybeClear();
+
+    StoreSetsParams params_;
+    std::vector<std::uint16_t> ssit_;
+    std::vector<SeqNum> lfst_;
+    std::uint16_t next_ssid_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace predictor
+} // namespace srl
+
+#endif // SRLSIM_PREDICTOR_STORE_SETS_HH

@@ -1,0 +1,292 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+namespace
+{
+
+/**
+ * Register map: per class (int 0-31, fp 32-63):
+ *   [base+0, base+4)   always-ready base registers (rarely written)
+ *   [base+4, base+12)  strand (spine) registers, one per strand
+ *   [base+12, base+32) rotating load destinations
+ */
+constexpr ArchReg kIntBase0 = 0;
+constexpr ArchReg kFpBase0 = 32;
+constexpr unsigned kNumBase = 4;
+constexpr unsigned kStrand0 = 4;
+constexpr unsigned kMaxStrands = 8;
+constexpr unsigned kLoadDst0 = 12;
+constexpr unsigned kClassRegs = 32;
+
+} // namespace
+
+Generator::Generator(const SuiteProfile &profile, std::uint64_t max_uops,
+                     std::uint64_t seed_override)
+    : profile_(profile), max_uops_(max_uops),
+      rng_(seed_override ? seed_override : profile.seed),
+      streams_(16, 0)
+{
+    fatal_if(profile_.static_uops == 0, "empty static program");
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+        streams_[i] = kStreamBase + (static_cast<Addr>(i) << 24);
+    buildTemplate();
+    iter_addr_.assign(slots_.size(), 0);
+    iter_size_.assign(slots_.size(), 0);
+}
+
+void
+Generator::buildTemplate()
+{
+    slots_.resize(profile_.static_uops);
+
+    unsigned next_int_dst = kLoadDst0;
+    unsigned next_fp_dst = kLoadDst0;
+    auto rotate_load_dst = [&](bool fp) -> ArchReg {
+        unsigned &next = fp ? next_fp_dst : next_int_dst;
+        const unsigned r = next;
+        next = next + 1 >= kClassRegs ? kLoadDst0 : next + 1;
+        return static_cast<ArchReg>((fp ? kFpBase0 : kIntBase0) + r);
+    };
+
+    // Dependence spines ("strands"): each strand owns one register;
+    // the register always holds the spine's latest result. ALUs extend
+    // a spine and consume recent load results as leaves; stores read
+    // spine registers. This is the structure that lets one missing
+    // load poison a long run of downstream computation (CFP's miss
+    // forward slice).
+    const unsigned nstrands =
+        std::min(kMaxStrands, std::max(1u, profile_.num_strands));
+    std::vector<ArchReg> recent_loads; // leaf pool, most recent last
+    std::vector<int> recent_store_slots;
+    int prev_load_slot = -1;
+
+    auto base_of = [&](bool fp) -> ArchReg {
+        return (fp ? kFpBase0 : kIntBase0) +
+               static_cast<ArchReg>(rng_.below(kNumBase));
+    };
+    auto strand_reg = [&](bool fp, unsigned strand) -> ArchReg {
+        return static_cast<ArchReg>((fp ? kFpBase0 : kIntBase0) +
+                                    kStrand0 + strand);
+    };
+    auto strand_of = [&](bool fp) -> ArchReg {
+        return strand_reg(fp, rng_.below(nstrands));
+    };
+    auto leaf_of = [&](bool fp) -> ArchReg {
+        if (recent_loads.empty())
+            return base_of(fp);
+        const unsigned span = static_cast<unsigned>(
+            std::min<std::size_t>(recent_loads.size(), 4));
+        return recent_loads[recent_loads.size() - 1 - rng_.below(span)];
+    };
+
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        StaticUop s;
+        const double roll = rng_.real();
+        const bool fp_ctx = rng_.chance(profile_.fp_frac);
+
+        if (roll < profile_.load_frac) {
+            s.cls = isa::UopClass::kLoad;
+            s.dst = rotate_load_dst(fp_ctx);
+            // Address register: pointer chasing chains a load's address
+            // onto the previous load's destination.
+            if (prev_load_slot >= 0 &&
+                rng_.chance(profile_.pointer_chase_frac)) {
+                s.src1 = slots_[prev_load_slot].dst;
+            } else {
+                s.src1 = base_of(false);
+            }
+            // Forwarding pair: re-read a recent store's address.
+            if (!recent_store_slots.empty() &&
+                rng_.chance(profile_.fwd_pair_frac)) {
+                const unsigned span = std::min<std::size_t>(
+                    recent_store_slots.size(), profile_.fwd_distance);
+                s.fwd_partner =
+                    recent_store_slots[recent_store_slots.size() - 1 -
+                                       rng_.below(span)];
+            }
+            if (rng_.chance(profile_.stream_frac))
+                s.stream_cursor =
+                    static_cast<int>(rng_.below(streams_.size()));
+            prev_load_slot = static_cast<int>(i);
+            recent_loads.push_back(s.dst);
+            if (recent_loads.size() > 8)
+                recent_loads.erase(recent_loads.begin());
+        } else if (roll < profile_.load_frac + profile_.store_frac) {
+            s.cls = isa::UopClass::kStore;
+            // Data register: read a recent load (leaf), a spine tail,
+            // or an always-ready base value.
+            const double sroll = rng_.real();
+            if (sroll < profile_.store_leaf_frac) {
+                s.src1 = leaf_of(fp_ctx);
+            } else if (sroll <
+                       profile_.store_leaf_frac +
+                           profile_.store_chain_frac) {
+                s.src1 = strand_of(fp_ctx);
+            } else {
+                s.src1 = base_of(fp_ctx);
+            }
+            if (rng_.chance(profile_.stream_frac))
+                s.stream_cursor =
+                    static_cast<int>(rng_.below(streams_.size()));
+            recent_store_slots.push_back(static_cast<int>(i));
+        } else if (roll < profile_.load_frac + profile_.store_frac +
+                              profile_.branch_frac) {
+            s.cls = isa::UopClass::kBranch;
+            s.hard_branch = rng_.chance(profile_.hard_branch_frac);
+            // Hard (data-dependent) branches read quickly-available
+            // values: a mispredicted branch whose resolution waited on
+            // a memory miss would stall fetch for the whole shadow,
+            // which real traces rarely do.
+            s.src1 = s.hard_branch ? base_of(false) : strand_of(false);
+            if (s.hard_branch) {
+                s.taken_bias = 0.5;
+            } else {
+                s.taken_bias = rng_.chance(0.5)
+                                   ? profile_.easy_branch_bias
+                                   : 1.0 - profile_.easy_branch_bias;
+            }
+        } else {
+            const bool mul = rng_.chance(profile_.mul_frac);
+            if (fp_ctx) {
+                s.cls = mul ? isa::UopClass::kFpMul
+                            : isa::UopClass::kFpAlu;
+            } else {
+                s.cls = mul ? isa::UopClass::kIntMul
+                            : isa::UopClass::kIntAlu;
+            }
+            // Spine: continue the strand, or restart it fresh.
+            const unsigned strand = rng_.below(nstrands);
+            s.dst = strand_reg(fp_ctx, strand);
+            if (rng_.chance(profile_.strand_restart) ||
+                !rng_.chance(profile_.chain_frac)) {
+                s.src1 = base_of(fp_ctx);
+            } else {
+                s.src1 = s.dst; // read-modify-write the spine register
+            }
+            // Leaf: mix in a recent load result.
+            s.src2 = rng_.chance(profile_.leaf_frac) ? leaf_of(fp_ctx)
+                                                     : base_of(fp_ctx);
+        }
+        slots_[i] = s;
+
+        if (recent_store_slots.size() > 64) {
+            recent_store_slots.erase(recent_store_slots.begin(),
+                                     recent_store_slots.end() - 64);
+        }
+    }
+}
+
+Addr
+Generator::rollAddress(const StaticUop &s, std::uint8_t &size)
+{
+    // Access size: mostly 8 B, some 4 B, a few 1 B (all naturally
+    // aligned, so every access stays within one 8-byte word).
+    const double sz = rng_.real();
+    size = sz < 0.70 ? 8 : (sz < 0.95 ? 4 : 1);
+
+    // Stream accesses advance a sequential cursor (prefetchable),
+    // wrapping so the footprint stays bounded.
+    if (s.stream_cursor >= 0) {
+        const auto idx = static_cast<unsigned>(s.stream_cursor);
+        const Addr base = kStreamBase + (static_cast<Addr>(idx) << 24);
+        Addr &cur = streams_[idx];
+        const Addr a = cur;
+        cur += 64;
+        if (cur >= base + static_cast<Addr>(
+                              profile_.stream_wrap_lines) * 64)
+            cur = base;
+        size = 8;
+        return a;
+    }
+
+    // Miss bursts: programs miss in phases, not uniformly. The burst
+    // schedule sets how much of execution happens in miss shadows.
+    if (emitted_ >= next_burst_start_ &&
+        emitted_ < next_burst_start_ + profile_.burst_len_uops) {
+        // in burst
+    } else if (emitted_ >=
+               next_burst_start_ + profile_.burst_len_uops) {
+        const std::uint64_t period = profile_.burst_period_uops;
+        next_burst_start_ =
+            emitted_ + period / 2 + rng_.range(0, period);
+    }
+    const bool in_burst =
+        emitted_ >= next_burst_start_ &&
+        emitted_ < next_burst_start_ + profile_.burst_len_uops;
+    const double cold_p =
+        in_burst ? profile_.cold_frac : profile_.background_cold_frac;
+
+    const double region = rng_.real();
+    Addr base, lines;
+    if (region < cold_p) {
+        base = kColdBase;
+        lines = profile_.cold_lines;
+    } else if (region < cold_p + profile_.warm_frac) {
+        base = kWarmBase;
+        lines = profile_.warm_lines;
+    } else {
+        base = kHotBase;
+        lines = profile_.hot_lines;
+    }
+    const Addr line = rng_.range(0, lines - 1) * 64;
+    const Addr word = rng_.below(8) * 8;
+    const Addr off = size == 8 ? 0 : rng_.below(8u / size) * size;
+    return base + line + word + off;
+}
+
+bool
+Generator::next(isa::Uop &out)
+{
+    if (emitted_ >= max_uops_)
+        return false;
+
+    const std::size_t slot = cursor_;
+    const StaticUop &s = slots_[slot];
+    cursor_ = (cursor_ + 1) % slots_.size();
+
+    out = isa::Uop{};
+    out.seq = emitted_;
+    out.pc = kCodeBase + static_cast<Addr>(slot) * 4;
+    out.cls = s.cls;
+    out.dst = s.dst;
+    out.src1 = s.src1;
+    out.src2 = s.src2;
+
+    if (isa::isMemory(s.cls)) {
+        std::uint8_t size = 8;
+        Addr addr;
+        if (s.cls == isa::UopClass::kLoad && s.fwd_partner >= 0 &&
+            iter_size_[static_cast<unsigned>(s.fwd_partner)] != 0) {
+            // Re-read the partner store's address (and size, so the
+            // store fully covers the load).
+            addr = iter_addr_[static_cast<unsigned>(s.fwd_partner)];
+            size = iter_size_[static_cast<unsigned>(s.fwd_partner)];
+        } else {
+            addr = rollAddress(s, size);
+        }
+        out.effAddr = addr;
+        out.memSize = size;
+        iter_addr_[slot] = addr;
+        iter_size_[slot] = size;
+        if (s.cls == isa::UopClass::kStore)
+            out.storeData = mix64(emitted_ * 0x9e37 + 0x1234);
+    } else if (s.cls == isa::UopClass::kBranch) {
+        out.taken = rng_.chance(s.taken_bias);
+        out.target = out.pc + (out.taken ? 64 : 4);
+    }
+
+    ++emitted_;
+    return true;
+}
+
+} // namespace workload
+} // namespace srl

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic synthetic uop-stream generator.
+ *
+ * A profile (profile.hh) is expanded into a *static program*: a loop
+ * body of `static_uops` slots with fixed PCs, register assignments, and
+ * dependence structure. The generator then streams dynamic instances of
+ * that body. Static structure matters: recurring PCs are what train the
+ * branch predictors and the store-sets memory dependence predictor, and
+ * stable store→load PC pairs are what make forwarding predictable, just
+ * as in real traces.
+ *
+ * Dynamic behavior per instance: memory uops roll their address region
+ * (hot = L1-resident, warm = L2-resident, cold = memory, stream =
+ * sequential/prefetchable), forwarding-pair loads reuse the partner
+ * store's address from the same iteration, and data-dependent branches
+ * roll their direction. All randomness is from a private PCG stream, so
+ * a (profile, seed) pair always yields the identical uop sequence —
+ * which is how the functional reference executor and the timing model
+ * can consume two copies of the same program.
+ */
+
+#ifndef SRLSIM_WORKLOAD_GENERATOR_HH
+#define SRLSIM_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "isa/uop.hh"
+#include "workload/profile.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+/** Base addresses of the generator's synthetic address regions. */
+struct AddressRegions
+{
+    static constexpr Addr kHot = 0x1000'0000;
+    static constexpr Addr kWarm = 0x2000'0000;
+    static constexpr Addr kCold = 0x4000'0000;
+    static constexpr Addr kStream = 0x8000'0000;
+    static constexpr unsigned kNumStreams = 16;
+    static constexpr Addr kStreamSpacing = Addr{1} << 24;
+};
+
+class Generator : public isa::UopStream
+{
+  public:
+    /**
+     * @param profile suite behavioral parameters
+     * @param max_uops stream length (finite)
+     * @param seed_override if non-zero, replaces profile.seed
+     */
+    Generator(const SuiteProfile &profile, std::uint64_t max_uops,
+              std::uint64_t seed_override = 0);
+
+    bool next(isa::Uop &out) override;
+
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    /** Address region kinds a memory slot can target. */
+    enum class Region : std::uint8_t { kHot, kWarm, kCold, kStream };
+
+    struct StaticUop
+    {
+        isa::UopClass cls = isa::UopClass::kIntAlu;
+        ArchReg dst = isa::kInvalidArchReg;
+        ArchReg src1 = isa::kInvalidArchReg;
+        ArchReg src2 = isa::kInvalidArchReg;
+        // Memory slots.
+        int fwd_partner = -1;   ///< template index of paired store
+        int stream_cursor = -1; ///< stream id for sequential accesses
+        // Branch slots.
+        bool hard_branch = false;
+        double taken_bias = 0.5;
+    };
+
+    void buildTemplate();
+    Addr rollAddress(const StaticUop &s, std::uint8_t &size);
+
+    SuiteProfile profile_;
+    std::uint64_t max_uops_;
+    Random rng_;
+
+    std::vector<StaticUop> slots_;
+    std::size_t cursor_ = 0;      ///< next template slot
+    std::uint64_t emitted_ = 0;
+
+    /** Per-template-slot address+size of the current iteration. */
+    std::vector<Addr> iter_addr_;
+    std::vector<std::uint8_t> iter_size_;
+
+    /** Sequential stream cursors (prefetchable cold accesses). */
+    std::vector<Addr> streams_;
+
+    /** Uop index at which the next miss burst begins. */
+    std::uint64_t next_burst_start_ = 0;
+
+    static constexpr Addr kHotBase = AddressRegions::kHot;
+    static constexpr Addr kWarmBase = AddressRegions::kWarm;
+    static constexpr Addr kColdBase = AddressRegions::kCold;
+    static constexpr Addr kStreamBase = AddressRegions::kStream;
+    static constexpr Addr kCodeBase = 0x0040'0000;
+};
+
+/** A UopStream over a fixed vector (directed tests, Fig. 4 replays). */
+class SequenceStream : public isa::UopStream
+{
+  public:
+    explicit SequenceStream(std::vector<isa::Uop> uops)
+        : uops_(std::move(uops))
+    {
+    }
+
+    bool
+    next(isa::Uop &out) override
+    {
+        if (pos_ >= uops_.size())
+            return false;
+        out = uops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<isa::Uop> uops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace workload
+} // namespace srl
+
+#endif // SRLSIM_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,34 @@
+#include "workload/prewarm.hh"
+
+#include "workload/generator.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+void
+prewarmCaches(const SuiteProfile &profile, memsys::Hierarchy &hier)
+{
+    // Hot region: L1-resident (and inclusive in L2).
+    for (unsigned i = 0; i < profile.hot_lines; ++i) {
+        const Addr line = AddressRegions::kHot + Addr{i} * 64;
+        hier.l2().fill(line);
+        hier.l1().fill(line);
+    }
+    // Warm region: L2-resident.
+    for (unsigned i = 0; i < profile.warm_lines; ++i)
+        hier.l2().fill(AddressRegions::kWarm + Addr{i} * 64);
+    // Stream buffers: their (bounded) first lap is L2-resident.
+    if (profile.stream_frac > 0.0) {
+        for (unsigned s = 0; s < AddressRegions::kNumStreams; ++s) {
+            const Addr base = AddressRegions::kStream +
+                              Addr{s} * AddressRegions::kStreamSpacing;
+            for (unsigned i = 0; i < profile.stream_wrap_lines; ++i)
+                hier.l2().fill(base + Addr{i} * 64);
+        }
+    }
+}
+
+} // namespace workload
+} // namespace srl

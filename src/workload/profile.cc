@@ -1,0 +1,208 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+std::vector<SuiteProfile>
+suiteProfiles()
+{
+    std::vector<SuiteProfile> suites;
+
+    // SPECFP2K: FP-heavy, large streaming working sets, frequent memory
+    // misses, long arithmetic chains feeding stores. Highest fraction
+    // of stores in miss shadows and of miss-dependent stores (Table 3).
+    {
+        SuiteProfile p;
+        p.name = "SFP2K";
+        p.load_frac = 0.29;
+        p.store_frac = 0.18;
+        p.branch_frac = 0.04;
+        p.fp_frac = 0.75;
+        p.mul_frac = 0.20;
+        p.warm_frac = 0.20;
+        p.cold_frac = 0.22;
+        p.background_cold_frac = 0.0002;
+        p.burst_period_uops = 4300;
+        p.burst_len_uops = 500;
+        p.chain_frac = 0.90;
+        p.leaf_frac = 0.80;
+        p.num_strands = 6;
+        p.strand_restart = 0.01;
+        p.store_chain_frac = 0.85;
+        p.fwd_pair_frac = 0.18;
+        p.hard_branch_frac = 0.03;
+        p.seed = 0x5f01;
+        suites.push_back(p);
+    }
+
+    // SPECINT2K: branchier, moderate miss exposure, short chains.
+    {
+        SuiteProfile p;
+        p.name = "SINT2K";
+        p.load_frac = 0.28;
+        p.store_frac = 0.15;
+        p.branch_frac = 0.14;
+        p.fp_frac = 0.0;
+        p.warm_frac = 0.14;
+        p.cold_frac = 0.08;
+        p.background_cold_frac = 0.0001;
+        p.burst_period_uops = 7400;
+        p.burst_len_uops = 250;
+        p.pointer_chase_frac = 0.10;
+        p.chain_frac = 0.85;
+        p.leaf_frac = 0.55;
+        p.num_strands = 6;
+        p.strand_restart = 0.04;
+        p.store_chain_frac = 0.25;
+        p.fwd_pair_frac = 0.24;
+        p.hard_branch_frac = 0.10;
+        p.seed = 0x51e7;
+        suites.push_back(p);
+    }
+
+    // Internet (WEB): server-side Java-ish; modest misses, many short
+    // dependence chains, branchy.
+    {
+        SuiteProfile p;
+        p.name = "WEB";
+        p.load_frac = 0.28;
+        p.store_frac = 0.16;
+        p.branch_frac = 0.15;
+        p.warm_frac = 0.22;
+        p.cold_frac = 0.08;
+        p.background_cold_frac = 0.0004;
+        p.burst_period_uops = 5600;
+        p.burst_len_uops = 250;
+        p.pointer_chase_frac = 0.45;
+        p.chain_frac = 0.85;
+        p.leaf_frac = 0.50;
+        p.num_strands = 6;
+        p.strand_restart = 0.04;
+        p.store_chain_frac = 0.12;
+        p.fwd_pair_frac = 0.28;
+        p.hard_branch_frac = 0.12;
+        p.seed = 0x0eb0;
+        suites.push_back(p);
+    }
+
+    // Multimedia (MM): streaming kernels, some FP, moderate misses.
+    {
+        SuiteProfile p;
+        p.name = "MM";
+        p.load_frac = 0.28;
+        p.store_frac = 0.17;
+        p.branch_frac = 0.09;
+        p.fp_frac = 0.35;
+        p.warm_frac = 0.18;
+        p.cold_frac = 0.09;
+        p.background_cold_frac = 0.0001;
+        p.burst_period_uops = 7000;
+        p.burst_len_uops = 300;
+        p.pointer_chase_frac = 0.05;
+        p.chain_frac = 0.88;
+        p.leaf_frac = 0.70;
+        p.num_strands = 6;
+        p.strand_restart = 0.02;
+        p.store_chain_frac = 0.35;
+        p.fwd_pair_frac = 0.20;
+        p.hard_branch_frac = 0.06;
+        p.seed = 0x3300;
+        suites.push_back(p);
+    }
+
+    // Productivity (PROD): cache-resident office workloads; almost no
+    // memory misses (Table 3 shows ~0 everywhere).
+    {
+        SuiteProfile p;
+        p.name = "PROD";
+        p.load_frac = 0.28;
+        p.store_frac = 0.15;
+        p.branch_frac = 0.16;
+        p.warm_frac = 0.08;
+        p.cold_frac = 0.03;
+        p.background_cold_frac = 0.00003;
+        p.burst_period_uops = 15000;
+        p.burst_len_uops = 150;
+        p.chain_frac = 0.70;
+        p.leaf_frac = 0.30;
+        p.num_strands = 6;
+        p.strand_restart = 0.08;
+        p.store_chain_frac = 0.10;
+        p.fwd_pair_frac = 0.30;
+        p.hard_branch_frac = 0.08;
+        p.seed = 0x0d00;
+        suites.push_back(p);
+    }
+
+    // Server (SERVER/TPC-C): pointer chasing through a huge working
+    // set: dependent-load chains keep the SRL occupied long (Table 3:
+    // highest stall rate, 41.7% occupancy).
+    {
+        SuiteProfile p;
+        p.name = "SERVER";
+        p.load_frac = 0.30;
+        p.store_frac = 0.15;
+        p.branch_frac = 0.13;
+        p.warm_frac = 0.30;
+        p.cold_frac = 0.003;
+        p.background_cold_frac = 0.003;
+        p.burst_period_uops = 9000;
+        p.burst_len_uops = 250;
+        p.pointer_chase_frac = 0.75;
+        p.chain_frac = 0.80;
+        p.leaf_frac = 0.45;
+        p.num_strands = 6;
+        p.strand_restart = 0.04;
+        p.store_chain_frac = 0.12;
+        p.fwd_pair_frac = 0.26;
+        p.hard_branch_frac = 0.10;
+        p.seed = 0x5e1f;
+        suites.push_back(p);
+    }
+
+    // Workstation (WS): CAD/rendering; store-heavy phases with notable
+    // miss-dependent stores (Table 3 column 3 is second-highest).
+    {
+        SuiteProfile p;
+        p.name = "WS";
+        p.load_frac = 0.27;
+        p.store_frac = 0.19;
+        p.branch_frac = 0.08;
+        p.fp_frac = 0.45;
+        p.mul_frac = 0.12;
+        p.warm_frac = 0.16;
+        p.cold_frac = 0.20;
+        p.background_cold_frac = 0.0001;
+        p.burst_period_uops = 14000;
+        p.burst_len_uops = 350;
+        p.chain_frac = 0.90;
+        p.leaf_frac = 0.60;
+        p.num_strands = 4;
+        p.strand_restart = 0.02;
+        p.store_leaf_frac = 0.30;
+        p.store_chain_frac = 0.70;
+        p.fwd_pair_frac = 0.16;
+        p.hard_branch_frac = 0.05;
+        p.seed = 0xa005;
+        suites.push_back(p);
+    }
+
+    return suites;
+}
+
+SuiteProfile
+suiteProfile(const std::string &name)
+{
+    for (const auto &p : suiteProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload suite '%s'", name.c_str());
+}
+
+} // namespace workload
+} // namespace srl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic workload suite profiles (stand-ins for Table 2's benchmark
+ * suites: SPEC or the commercial traces cannot be redistributed, so each
+ * suite is characterized by the behavioral parameters that drive the
+ * paper's results — memory-miss exposure, dependence-chain shape into
+ * the miss shadow, store/load mix, forwarding distance, and branch
+ * predictability — and a deterministic generator (generator.hh) expands
+ * a profile into a dynamic uop stream).
+ *
+ * The knobs were calibrated (see EXPERIMENTS.md) so the per-suite
+ * differentiation of Table 3 lands in the reported ballpark: SFP2K with
+ * long FP chains and heavy memory missing, SERVER with pointer chasing,
+ * PROD with an almost cache-resident working set, etc.
+ */
+
+#ifndef SRLSIM_WORKLOAD_PROFILE_HH
+#define SRLSIM_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srl
+{
+namespace workload
+{
+
+struct SuiteProfile
+{
+    std::string name;
+
+    // --- Instruction mix (fractions of all uops) ---
+    double load_frac = 0.25;
+    double store_frac = 0.12;
+    double branch_frac = 0.10;
+    double fp_frac = 0.0;    ///< fraction of ALU ops that are FP
+    double mul_frac = 0.05;  ///< fraction of ALU ops that are long-latency
+
+    // --- Memory address behavior ---
+    /** L1-resident hot region, in 64 B lines (<=512 fits 32 KB L1). */
+    unsigned hot_lines = 448;
+    /** L2-resident warm region, in lines (<=16384 fits 1 MB L2). */
+    unsigned warm_lines = 8192;
+    /** Memory-resident cold region, in lines (far exceeds L2). */
+    unsigned cold_lines = 1u << 22;
+    /** Probability a memory access targets the warm region. */
+    double warm_frac = 0.10;
+    /**
+     * Probability a memory access targets the cold region *during a
+     * miss burst*. Real programs miss in phases (a cache-unfriendly
+     * traversal, then compute); the burst structure below is what sets
+     * the fraction of execution spent in miss shadows (Table 3's
+     * "% execution time SRL is occupied").
+     */
+    double cold_frac = 0.05;
+    /** Cold probability between bursts (background misses). */
+    double background_cold_frac = 0.0001;
+    /** Mean uops between burst starts (randomized +/-50%). */
+    unsigned burst_period_uops = 8000;
+    /** Burst length in uops. */
+    unsigned burst_len_uops = 300;
+    /** Probability a memory access streams sequentially. */
+    double stream_frac = 0.0;
+    /** Lines per stream cursor before it wraps (bounds L2 pollution). */
+    unsigned stream_wrap_lines = 256;
+
+    // --- Dependence structure ---
+    /**
+     * Probability an ALU op continues its strand's spine (src1 = the
+     * strand's previous result). Code is modeled as `num_strands`
+     * parallel dependence spines that consume load results as leaf
+     * operands — the structure that lets one missing load poison a
+     * long run of downstream work, as in real FP code.
+     */
+    double chain_frac = 0.5;
+    /** Probability an ALU's second operand reads a recent load (leaf). */
+    double leaf_frac = 0.4;
+    /** Number of parallel dependence spines. */
+    unsigned num_strands = 4;
+    /** Per-ALU probability its strand restarts from a fresh value. */
+    double strand_restart = 0.03;
+    /** Probability a store's data register reads a spine register. */
+    double store_chain_frac = 0.25;
+    /** Probability a store's data register reads a recent load result
+     * directly (stores become miss-dependent without deep ALU chains,
+     * the WS/CAD pattern). Evaluated before store_chain_frac. */
+    double store_leaf_frac = 0.0;
+    /** Probability a load's address register chains (pointer chasing). */
+    double pointer_chase_frac = 0.0;
+    /** Probability a load re-reads a recent store's address (fwd pair). */
+    double fwd_pair_frac = 0.20;
+    /** Max template distance between a forwarding store/load pair. */
+    unsigned fwd_distance = 24;
+
+    // --- Branch behavior ---
+    /** Fraction of static branches that are data-dependent (random). */
+    double hard_branch_frac = 0.08;
+    /** Taken bias of predictable branches. */
+    double easy_branch_bias = 0.92;
+
+    // --- Shape ---
+    unsigned static_uops = 2048; ///< static code footprint (loop body)
+    std::uint64_t seed = 1;      ///< per-suite deterministic seed
+};
+
+/** The seven suites of Table 2, in the paper's order. */
+std::vector<SuiteProfile> suiteProfiles();
+
+/** Look up a suite by name; fatal on unknown name. */
+SuiteProfile suiteProfile(const std::string &name);
+
+} // namespace workload
+} // namespace srl
+
+#endif // SRLSIM_WORKLOAD_PROFILE_HH

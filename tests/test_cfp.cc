@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the CPR/CFP substrate: checkpoint lifecycle (create,
+ * counters, bulk commit, rollback, forward progress), the rename map,
+ * and the Slice Data Buffer (ordered insert, squash).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfp/checkpoint.hh"
+#include "cfp/rename.hh"
+#include "cfp/sdb.hh"
+
+namespace
+{
+
+using namespace srl;
+using namespace srl::cfp;
+
+CheckpointParams
+smallCkpts()
+{
+    CheckpointParams p;
+    p.num_checkpoints = 4;
+    p.max_interval = 8;
+    p.branch_interval = 4;
+    return p;
+}
+
+TEST(Checkpoints, WantNewOnFirstAndAtInterval)
+{
+    CheckpointManager m(smallCkpts());
+    EXPECT_TRUE(m.wantNew(false));
+    RenameMap map;
+    m.create(0, map);
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_FALSE(m.wantNew(false));
+        m.allocated(i);
+    }
+    m.allocated(7);
+    EXPECT_TRUE(m.wantNew(false)); // max_interval reached
+}
+
+TEST(Checkpoints, BranchIntervalPolicy)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    m.create(0, map);
+    for (int i = 0; i < 4; ++i)
+        m.allocated(i);
+    EXPECT_FALSE(m.wantNew(false));
+    EXPECT_TRUE(m.wantNew(true)); // low-confidence branch past 4 uops
+}
+
+TEST(Checkpoints, BulkCommitRequiresClosureAndCompletion)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    const CheckpointId a = m.create(0, map);
+    m.allocated(0);
+    m.allocated(1);
+    m.completed(a);
+    m.completed(a);
+    EXPECT_FALSE(m.oldestCommittable()); // region still open
+    m.create(2, map);
+    EXPECT_TRUE(m.oldestCommittable());
+    const Checkpoint c = m.commitOldest();
+    EXPECT_EQ(c.id, a);
+    EXPECT_EQ(c.allocated, 2u);
+}
+
+TEST(Checkpoints, CloseYoungestEnablesFinalCommit)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    const CheckpointId a = m.create(0, map);
+    m.allocated(0);
+    m.completed(a);
+    EXPECT_FALSE(m.oldestCommittable());
+    m.closeYoungest();
+    EXPECT_TRUE(m.oldestCommittable());
+}
+
+TEST(Checkpoints, SlotReuseAfterCommit)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    for (int i = 0; i < 4; ++i) {
+        m.create(i * 8, map);
+        m.allocated(i * 8);
+    }
+    EXPECT_FALSE(m.canCreate());
+    // Complete and commit the oldest.
+    m.completed(m.oldest().id);
+    const CheckpointId freed = m.commitOldest().id;
+    EXPECT_TRUE(m.canCreate());
+    EXPECT_EQ(m.create(100, map), freed); // smallest free slot id
+}
+
+TEST(Checkpoints, RollbackDiscardsYoungerAndResetsTarget)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    map[3].producer = 42;
+    const CheckpointId a = m.create(0, map);
+    m.allocated(0);
+    RenameMap map2;
+    const CheckpointId b = m.create(10, map2);
+    m.allocated(10);
+    m.create(20, map2);
+
+    const Checkpoint restored = m.rollbackTo(b);
+    EXPECT_EQ(restored.first_seq, 10u);
+    EXPECT_EQ(m.liveCount(), 2u);
+    EXPECT_EQ(m.youngest().id, b);
+    EXPECT_EQ(m.youngest().allocated, 0u); // reset for re-execution
+    EXPECT_TRUE(m.youngest().forced_single);
+    EXPECT_NE(m.find(a), nullptr);
+
+    // Forward progress: the re-executed region closes after one uop.
+    m.allocated(10);
+    EXPECT_TRUE(m.wantNew(false));
+}
+
+TEST(Checkpoints, RollbackToOldestKeepsIt)
+{
+    CheckpointManager m(smallCkpts());
+    RenameMap map;
+    const CheckpointId a = m.create(0, map);
+    m.allocated(0);
+    m.create(10, map);
+    m.rollbackTo(a);
+    EXPECT_EQ(m.liveCount(), 1u);
+    EXPECT_EQ(m.oldest().id, a);
+}
+
+TEST(RenameMapTest, SnapshotIsIndependentCopy)
+{
+    RenameMap m;
+    m[5].producer = 100;
+    RenameMap snap = m.snapshot();
+    m[5].producer = 200;
+    EXPECT_EQ(snap[5].producer, 100u);
+}
+
+TEST(RenameMapTest, PoisonTracking)
+{
+    RenameMap m;
+    m[1].poisoned = true;
+    m[9].poisoned = true;
+    EXPECT_EQ(m.poisonedCount(), 2u);
+    m.clearPoison();
+    EXPECT_EQ(m.poisonedCount(), 0u);
+}
+
+// ------------------------------------------------------------ SDB
+
+isa::Uop
+uopAt(SeqNum seq)
+{
+    isa::Uop u;
+    u.seq = seq;
+    u.cls = isa::UopClass::kIntAlu;
+    return u;
+}
+
+TEST(Sdb, FifoByProgramOrderDespiteDrainOrder)
+{
+    SliceDataBuffer sdb({16});
+    SliceEntry e1;
+    e1.uop = uopAt(10);
+    SliceEntry e2;
+    e2.uop = uopAt(5); // drains later, but is older
+    sdb.push(e1);
+    sdb.push(e2);
+    EXPECT_EQ(sdb.front().uop.seq, 5u);
+    sdb.pop();
+    EXPECT_EQ(sdb.front().uop.seq, 10u);
+}
+
+TEST(Sdb, SquashAfterDropsYoung)
+{
+    SliceDataBuffer sdb({16});
+    for (SeqNum s : {1u, 5u, 9u}) {
+        SliceEntry e;
+        e.uop = uopAt(s);
+        sdb.push(e);
+    }
+    sdb.squashAfter(5);
+    EXPECT_EQ(sdb.size(), 2u);
+    sdb.squashAfter(0);
+    EXPECT_TRUE(sdb.empty());
+}
+
+TEST(SdbDeathTest, DuplicateDrainPanics)
+{
+    SliceDataBuffer sdb({16});
+    SliceEntry e;
+    e.uop = uopAt(3);
+    sdb.push(e);
+    EXPECT_DEATH(sdb.push(e), "duplicate");
+}
+
+TEST(Sdb, PeakSizeTracked)
+{
+    SliceDataBuffer sdb({16});
+    for (SeqNum s : {1u, 2u, 3u}) {
+        SliceEntry e;
+        e.uop = uopAt(s);
+        sdb.push(e);
+    }
+    sdb.pop();
+    EXPECT_EQ(sdb.peak_size, 3u);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Directed tests of the hierarchical store queue baseline [Akkary et
+ * al. 2003] inside the full machine: L1->L2 displacement under
+ * capacity pressure, forwarding from the slow L2 STQ, Membership Test
+ * Buffer filtering of L2 lookups, and drain ordering across the two
+ * levels. Also exercises SRL-model accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/processor.hh"
+#include "core/simulator.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace srl;
+using isa::Uop;
+using isa::UopClass;
+
+constexpr Addr kMissAddr = 0x4000'0000;
+constexpr Addr kBase = 0x1000'0000;
+
+Uop
+mkLoad(SeqNum seq, Addr addr, ArchReg dst, ArchReg areg = 0)
+{
+    Uop u;
+    u.seq = seq;
+    u.pc = 0x1000 + seq * 4;
+    u.cls = UopClass::kLoad;
+    u.dst = dst;
+    u.src1 = areg;
+    u.effAddr = addr;
+    u.memSize = 8;
+    return u;
+}
+
+Uop
+mkStore(SeqNum seq, Addr addr, std::uint64_t data, ArchReg dreg = 0)
+{
+    Uop u;
+    u.seq = seq;
+    u.pc = 0x1000 + seq * 4;
+    u.cls = UopClass::kStore;
+    u.src1 = dreg;
+    u.effAddr = addr;
+    u.memSize = 8;
+    u.storeData = data;
+    return u;
+}
+
+Uop
+mkNop(SeqNum seq)
+{
+    Uop u;
+    u.seq = seq;
+    u.pc = 0x1000 + seq * 4;
+    u.cls = UopClass::kNop;
+    return u;
+}
+
+TEST(Hierarchical, ForwardsFromDisplacedL2Store)
+{
+    // A miss-dependent store at the front freezes the drain (its data
+    // waits for the miss); >48 subsequent stores then displace into
+    // the L2 STQ; a load to the oldest independent store's address
+    // must forward from the L2 (at its higher latency).
+    std::vector<Uop> prog;
+    SeqNum s = 0;
+    prog.push_back(mkLoad(s++, kMissAddr, 12));
+    // Dependent store: blocks the drain until the miss returns.
+    prog.push_back(mkStore(s++, kBase + 0x8000, 0, 12));
+    prog.push_back(mkStore(s++, kBase, 0xfeed));
+    for (int i = 0; i < 70; ++i)
+        prog.push_back(mkStore(s++, kBase + 0x40 * (i + 1), i));
+    const SeqNum ld = s;
+    prog.push_back(mkLoad(s++, kBase, 13));
+
+    workload::SequenceStream stream(std::move(prog));
+    core::Processor cpu(core::hierarchicalConfig(), stream);
+    std::map<SeqNum, std::uint64_t> vals;
+    cpu.setLoadCommitHook(
+        [&](SeqNum seq, Addr, unsigned, std::uint64_t v) {
+            vals[seq] = v;
+        });
+    cpu.run(10'000'000);
+    ASSERT_TRUE(cpu.done());
+    EXPECT_EQ(vals.at(ld), 0xfeedu);
+    ASSERT_NE(cpu.l2Stq(), nullptr);
+    EXPECT_GT(cpu.l2Stq()->forwards.value(), 0u);
+}
+
+TEST(Hierarchical, MtbFiltersNonMatchingLoads)
+{
+    // Loads to addresses with no store in the L2 STQ must not search
+    // it: the Membership Test Buffer's zero counters prove absence.
+    std::vector<Uop> prog;
+    SeqNum s = 0;
+    prog.push_back(mkLoad(s++, kMissAddr, 12));
+    prog.push_back(mkStore(s++, kBase + 0x8000, 0, 12)); // freeze drain
+    for (int i = 0; i < 70; ++i)
+        prog.push_back(mkStore(s++, kBase + 0x40 * i, i));
+    // Loads far away from every store (different MTB counters).
+    for (int i = 0; i < 50; ++i)
+        prog.push_back(mkLoad(s++, kBase + 0x100000 + 0x40 * i, 13));
+
+    workload::SequenceStream stream(std::move(prog));
+    core::Processor cpu(core::hierarchicalConfig(), stream);
+    cpu.run(10'000'000);
+    ASSERT_TRUE(cpu.done());
+    // The far loads found a zero MTB counter: L2 searches must be far
+    // fewer than total loads.
+    EXPECT_LT(cpu.l2Stq()->searches.value(), 25u);
+}
+
+TEST(Hierarchical, DrainOrderAcrossLevelsPreservesMemoryState)
+{
+    // Same address written from both levels: the L2 (older) store must
+    // drain before the L1 (younger) one.
+    std::vector<Uop> prog;
+    SeqNum s = 0;
+    prog.push_back(mkLoad(s++, kMissAddr, 12));
+    prog.push_back(mkStore(s++, kBase + 0x8000, 0, 12)); // freeze drain
+    prog.push_back(mkStore(s++, kBase, 0x01)); // will displace to L2
+    for (int i = 0; i < 70; ++i)
+        prog.push_back(mkStore(s++, kBase + 0x40 * (i + 1), i));
+    prog.push_back(mkStore(s++, kBase, 0x02)); // younger, stays in L1
+    for (int i = 0; i < 8; ++i)
+        prog.push_back(mkNop(s++));
+
+    workload::SequenceStream stream(std::move(prog));
+    core::Processor cpu(core::hierarchicalConfig(), stream);
+    cpu.run(10'000'000);
+    ASSERT_TRUE(cpu.done());
+    EXPECT_EQ(cpu.mem().read(kBase, 8), 0x02u);
+}
+
+TEST(SrlAccounting, RedoneEqualsDrainsAndOccupancyConsistent)
+{
+    workload::Generator gen(workload::suiteProfile("SFP2K"), 30000);
+    core::Processor cpu(core::srlConfig(), gen);
+    cpu.run(80'000'000);
+    ASSERT_TRUE(cpu.done());
+    // Every redone store corresponds to one SRL drain.
+    EXPECT_EQ(cpu.stats().redone_stores, cpu.srlLog()->drains.value());
+    // Pushes >= drains (rollbacks squash pushed entries, which then
+    // re-push on replay); nothing may be left behind at the end.
+    EXPECT_GE(cpu.srlLog()->pushes.value(),
+              cpu.srlLog()->drains.value());
+    EXPECT_TRUE(cpu.srlLog()->empty());
+    // Occupancy observations cover every cycle.
+    EXPECT_EQ(cpu.srlOccupancy().totalCycles(), cpu.stats().cycles);
+}
+
+TEST(SrlAccounting, LcfCountersReturnToZero)
+{
+    workload::Generator gen(workload::suiteProfile("WS"), 30000);
+    core::Processor cpu(core::srlConfig(), gen);
+    cpu.run(80'000'000);
+    ASSERT_TRUE(cpu.done());
+    const auto *lcf = cpu.lcf();
+    ASSERT_NE(lcf, nullptr);
+    // The real invariant: with the machine drained, every LCF counter
+    // is zero (the stat counters may differ by bulk clears during
+    // rollbacks-to-origin, which reset counters without crediting
+    // per-store removals).
+    EXPECT_TRUE(lcf->bloom().allZero());
+    EXPECT_GE(lcf->inserts.value(), lcf->removes.value());
+}
+
+TEST(SrlAccounting, CommittedStoresAllDrained)
+{
+    workload::Generator gen(workload::suiteProfile("SERVER"), 30000);
+    core::Processor cpu(core::srlConfig(), gen);
+    cpu.run(80'000'000);
+    ASSERT_TRUE(cpu.done());
+    // Every committed store reached the memory system exactly once on
+    // the committed path: the architectural image must reflect them
+    // (spot-proved by the reference-equivalence suite); here we check
+    // the drain counters cover all committed stores.
+    EXPECT_GE(cpu.hierarchy().storeDrains.value(),
+              cpu.stats().committed_stores);
+    EXPECT_TRUE(cpu.stq().empty());
+}
+
+} // namespace

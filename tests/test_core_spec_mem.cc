@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the speculative memory overlay: overlay-over-memory
+ * reads, program-ordered commit to main memory, rollback rebuild, and
+ * the byte-granular overwrite semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spec_mem.hh"
+
+namespace
+{
+
+using namespace srl;
+using namespace srl::core;
+
+TEST(SpecMem, ReadsFallThroughToMainMemory)
+{
+    memsys::MainMemory mem;
+    mem.write(0x100, 8, 0x1111);
+    SpeculativeMemory sm(mem);
+    EXPECT_EQ(sm.read(0x100, 8), 0x1111u);
+}
+
+TEST(SpecMem, OverlayShadowsMainMemory)
+{
+    memsys::MainMemory mem;
+    mem.write(0x100, 8, 0x1111);
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0x2222);
+    EXPECT_EQ(sm.read(0x100, 8), 0x2222u);
+    EXPECT_EQ(mem.read(0x100, 8), 0x1111u); // main memory untouched
+}
+
+TEST(SpecMem, PartialOverlayMerges)
+{
+    memsys::MainMemory mem;
+    mem.write(0x100, 8, 0x8877665544332211ull);
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x104, 4, 0xaabbccdd);
+    EXPECT_EQ(sm.read(0x100, 8), 0xaabbccdd44332211ull);
+}
+
+TEST(SpecMem, CommitAppliesCheckpointPrefix)
+{
+    memsys::MainMemory mem;
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0xaa);
+    sm.write(11, 0, 0x108, 8, 0xbb);
+    sm.write(12, 1, 0x110, 8, 0xcc);
+    sm.commitCheckpoint(0);
+    EXPECT_EQ(mem.read(0x100, 8), 0xaau);
+    EXPECT_EQ(mem.read(0x108, 8), 0xbbu);
+    EXPECT_EQ(mem.read(0x110, 8), 0u); // ckpt 1 still speculative
+    EXPECT_EQ(sm.read(0x110, 8), 0xccu);
+    EXPECT_EQ(sm.pendingStores(), 1u);
+}
+
+TEST(SpecMem, ProgramOrderOverwriteWithinOverlay)
+{
+    memsys::MainMemory mem;
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0x1111);
+    sm.write(11, 0, 0x100, 8, 0x2222);
+    EXPECT_EQ(sm.read(0x100, 8), 0x2222u);
+    sm.commitCheckpoint(0);
+    EXPECT_EQ(mem.read(0x100, 8), 0x2222u);
+    EXPECT_EQ(sm.pendingStores(), 0u);
+}
+
+TEST(SpecMem, RollbackRestoresOlderValue)
+{
+    memsys::MainMemory mem;
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0x1111);
+    sm.write(20, 1, 0x100, 8, 0x2222);
+    sm.rollback(15); // squash seq >= 15
+    EXPECT_EQ(sm.read(0x100, 8), 0x1111u);
+    EXPECT_EQ(sm.pendingStores(), 1u);
+}
+
+TEST(SpecMem, RollbackToZeroClearsEverything)
+{
+    memsys::MainMemory mem;
+    mem.write(0x100, 8, 0x9999);
+    SpeculativeMemory sm(mem);
+    sm.write(0, 0, 0x100, 8, 0x1);
+    sm.write(1, 0, 0x108, 8, 0x2);
+    sm.rollback(0);
+    EXPECT_EQ(sm.pendingStores(), 0u);
+    EXPECT_EQ(sm.read(0x100, 8), 0x9999u);
+}
+
+TEST(SpecMem, PartialByteRollback)
+{
+    memsys::MainMemory mem;
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0x1111111111111111ull);
+    sm.write(20, 0, 0x100, 2, 0xffff);
+    EXPECT_EQ(sm.read(0x100, 8), 0x111111111111ffffull);
+    sm.rollback(20);
+    EXPECT_EQ(sm.read(0x100, 8), 0x1111111111111111ull);
+}
+
+TEST(SpecMemDeathTest, OutOfOrderDrainPanics)
+{
+    memsys::MainMemory mem;
+    SpeculativeMemory sm(mem);
+    sm.write(10, 0, 0x100, 8, 0x1);
+    EXPECT_DEATH(sm.write(9, 0, 0x108, 8, 0x2), "program order");
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the runtime debug-tracing facility: flag parsing,
+ * enable/disable semantics, and name round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/debug.hh"
+
+namespace
+{
+
+using namespace srl::debug;
+
+class DebugFlags : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        initFromEnvironment(); // consume any env config first
+        clearAll();
+    }
+    void TearDown() override { clearAll(); }
+};
+
+TEST_F(DebugFlags, DisabledByDefault)
+{
+    EXPECT_FALSE(isEnabled(Flag::kSrl));
+    EXPECT_FALSE(isEnabled(Flag::kRollback));
+}
+
+TEST_F(DebugFlags, SetAndClear)
+{
+    setFlag(Flag::kSrl, true);
+    EXPECT_TRUE(isEnabled(Flag::kSrl));
+    EXPECT_FALSE(isEnabled(Flag::kLcf));
+    setFlag(Flag::kSrl, false);
+    EXPECT_FALSE(isEnabled(Flag::kSrl));
+}
+
+TEST_F(DebugFlags, EnableFromList)
+{
+    EXPECT_EQ(enableFromList("Srl,Rollback,Commit"), 3u);
+    EXPECT_TRUE(isEnabled(Flag::kSrl));
+    EXPECT_TRUE(isEnabled(Flag::kRollback));
+    EXPECT_TRUE(isEnabled(Flag::kCommit));
+    EXPECT_FALSE(isEnabled(Flag::kFetch));
+}
+
+TEST_F(DebugFlags, UnknownNamesSkipped)
+{
+    EXPECT_EQ(enableFromList("NotAFlag,Srl,"), 1u);
+    EXPECT_TRUE(isEnabled(Flag::kSrl));
+}
+
+TEST_F(DebugFlags, NamesRoundTrip)
+{
+    EXPECT_STREQ(flagName(Flag::kSrl), "Srl");
+    EXPECT_STREQ(flagName(Flag::kLoadBuffer), "LoadBuffer");
+    EXPECT_STREQ(flagName(Flag::kCheckpoint), "Checkpoint");
+}
+
+TEST_F(DebugFlags, TracefDoesNotCrash)
+{
+    setFlag(Flag::kSrl, true);
+    tracef(Flag::kSrl, "hello %d %s", 42, "world");
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Hazard matrix (TEST_P): replays the paper's Figure 4 hazard
+ * sequences on *every* SRL configuration variant (full, no indexed
+ * forwarding, no LCF, data-cache temporary updates, violate-on-
+ * overflow, tiny structures). Whatever the variant's performance
+ * path, the committed values and final memory must follow program
+ * order — the hazard handling is a property of the algorithm, not of
+ * the performance options.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/processor.hh"
+#include "core/simulator.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace srl;
+using isa::Uop;
+using isa::UopClass;
+
+constexpr Addr kMiss = 0x4000'0000;
+constexpr Addr kA = 0x1000'0100;
+constexpr Addr kB = 0x1000'0200;
+
+Uop
+mkLoad(SeqNum seq, Addr addr, ArchReg dst, ArchReg areg = 0)
+{
+    Uop u;
+    u.seq = seq;
+    u.pc = 0x1000 + seq * 4;
+    u.cls = UopClass::kLoad;
+    u.dst = dst;
+    u.src1 = areg;
+    u.effAddr = addr;
+    u.memSize = 8;
+    return u;
+}
+
+Uop
+mkStore(SeqNum seq, Addr addr, std::uint64_t data, ArchReg dreg = 0)
+{
+    Uop u;
+    u.seq = seq;
+    u.pc = 0x1000 + seq * 4;
+    u.cls = UopClass::kStore;
+    u.src1 = dreg;
+    u.effAddr = addr;
+    u.memSize = 8;
+    u.storeData = data;
+    return u;
+}
+
+enum class Variant
+{
+    kFull,
+    kNoIdx,
+    kNoLcf,
+    kDcacheTemp,
+    kViolateOverflow,
+    kTiny,
+    kEagerDrain,
+};
+
+core::ProcessorConfig
+configOf(Variant v)
+{
+    auto c = core::srlConfig();
+    switch (v) {
+      case Variant::kFull:
+        break;
+      case Variant::kNoIdx:
+        c.srl.indexed_forwarding = false;
+        break;
+      case Variant::kNoLcf:
+        c.srl.use_lcf = false;
+        c.srl.indexed_forwarding = false;
+        break;
+      case Variant::kDcacheTemp:
+        c.srl.use_fwd_cache = false;
+        break;
+      case Variant::kViolateOverflow:
+        c.load_buffer.overflow = lsq::OverflowPolicy::kViolate;
+        break;
+      case Variant::kTiny:
+        c.srl.srl.capacity = 64;
+        c.srl.lcf.entries = 64;
+        c.srl.fwd_cache = {16, 4};
+        c.load_buffer.entries = 64;
+        break;
+      case Variant::kEagerDrain:
+        c.srl.drain_only_in_redo = false;
+        break;
+    }
+    return c;
+}
+
+const char *
+nameOf(Variant v)
+{
+    switch (v) {
+      case Variant::kFull: return "full";
+      case Variant::kNoIdx: return "no_idx";
+      case Variant::kNoLcf: return "no_lcf";
+      case Variant::kDcacheTemp: return "dcache_temp";
+      case Variant::kViolateOverflow: return "violate_ovfl";
+      case Variant::kTiny: return "tiny";
+      case Variant::kEagerDrain: return "eager_drain";
+    }
+    return "?";
+}
+
+class HazardMatrix : public ::testing::TestWithParam<Variant>
+{
+  protected:
+    std::map<SeqNum, std::uint64_t> vals_;
+
+    core::Processor *
+    runSeq(std::vector<Uop> prog, std::uint64_t init_a = 0)
+    {
+        auto *stream =
+            new workload::SequenceStream(std::move(prog));
+        auto *cpu = new core::Processor(configOf(GetParam()), *stream);
+        if (init_a)
+            cpu->mem().write(kA, 8, init_a);
+        cpu->setLoadCommitHook(
+            [this](SeqNum seq, Addr, unsigned, std::uint64_t v) {
+                vals_[seq] = v;
+            });
+        cpu->run(10'000'000);
+        EXPECT_TRUE(cpu->done()) << nameOf(GetParam());
+        return cpu;
+    }
+};
+
+TEST_P(HazardMatrix, WriteAfterWrite)
+{
+    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkStore(1, kA, 0xd, 12),
+                        mkStore(2, kA, 0x1), mkLoad(3, kA, 13)});
+    EXPECT_EQ(vals_.at(3), 0x1u) << nameOf(GetParam());
+    EXPECT_EQ(cpu->mem().read(kA, 8), 0x1u);
+    delete cpu;
+}
+
+TEST_P(HazardMatrix, WriteAfterRead)
+{
+    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkLoad(1, kA, 13, 12),
+                        mkStore(2, kA, 0x2)},
+                       /*init_a=*/0x9);
+    EXPECT_EQ(vals_.at(1), 0x9u) << nameOf(GetParam());
+    EXPECT_EQ(cpu->mem().read(kA, 8), 0x2u);
+    delete cpu;
+}
+
+TEST_P(HazardMatrix, ReadAfterWriteIndependent)
+{
+    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkStore(1, kB, 0xb),
+                        mkStore(2, kA, 0xa, 12), mkLoad(3, kB, 13)});
+    EXPECT_EQ(vals_.at(3), 0xbu) << nameOf(GetParam());
+    delete cpu;
+}
+
+TEST_P(HazardMatrix, MispredictedDependence)
+{
+    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkStore(1, kA, 0x5, 12),
+                        mkLoad(2, kA, 13)});
+    EXPECT_EQ(vals_.at(2), 0x5u) << nameOf(GetParam());
+    EXPECT_EQ(cpu->mem().read(kA, 8), 0x5u);
+    delete cpu;
+}
+
+TEST_P(HazardMatrix, ComplexCaseVi)
+{
+    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkStore(1, kA, 0xaa),
+                        mkStore(2, kB, 0xbb, 12), mkLoad(3, kA, 13)});
+    EXPECT_EQ(vals_.at(3), 0xaau) << nameOf(GetParam());
+    EXPECT_EQ(cpu->mem().read(kA, 8), 0xaau);
+    EXPECT_EQ(cpu->mem().read(kB, 8), 0xbbu);
+    delete cpu;
+}
+
+TEST_P(HazardMatrix, BackToBackMissesWithHazards)
+{
+    // Two overlapping miss epochs with hazards spanning both.
+    std::vector<Uop> prog;
+    SeqNum s = 0;
+    prog.push_back(mkLoad(s++, kMiss, 12));
+    prog.push_back(mkStore(s++, kA, 0x11, 12)); // dep on miss 1
+    prog.push_back(mkLoad(s++, kMiss + 0x4000, 14));
+    prog.push_back(mkStore(s++, kA, 0x22, 14)); // dep on miss 2
+    prog.push_back(mkStore(s++, kB, 0x33));     // independent
+    prog.push_back(mkLoad(s++, kA, 13));
+    prog.push_back(mkLoad(s++, kB, 15));
+    auto *cpu = runSeq(std::move(prog));
+    EXPECT_EQ(vals_.at(5), 0x22u) << nameOf(GetParam());
+    EXPECT_EQ(vals_.at(6), 0x33u) << nameOf(GetParam());
+    EXPECT_EQ(cpu->mem().read(kA, 8), 0x22u);
+    delete cpu;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, HazardMatrix,
+    ::testing::Values(Variant::kFull, Variant::kNoIdx, Variant::kNoLcf,
+                      Variant::kDcacheTemp, Variant::kViolateOverflow,
+                      Variant::kTiny, Variant::kEagerDrain),
+    [](const auto &info) { return nameOf(info.param); });
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the counting Bloom filter, the Loose Check Filter
+ * (counter conservation, saturation, indexed-forwarding index
+ * tracking, both hash schemes), and the forwarding cache (program-
+ * order-aware byte merging, age discipline, drain neutralization,
+ * eviction behavior).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "lsq/counting_bloom.hh"
+#include "lsq/fwd_cache.hh"
+#include "lsq/lcf.hh"
+#include "lsq/store_id.hh"
+
+namespace
+{
+
+using namespace srl;
+using namespace srl::lsq;
+
+// ------------------------------------------------------- CountingBloom
+
+TEST(CountingBloom, ZeroMeansDefinitelyAbsent)
+{
+    CountingBloom b(256, 6, HashScheme::kThreePieceXor);
+    EXPECT_FALSE(b.mayContain(0x1234));
+    b.increment(0x1234);
+    EXPECT_TRUE(b.mayContain(0x1234));
+    b.decrement(0x1234);
+    EXPECT_FALSE(b.mayContain(0x1234));
+}
+
+TEST(CountingBloom, CounterConservationUnderChurn)
+{
+    CountingBloom b(128, 6, HashScheme::kLowerAddressBits);
+    Random rng(5);
+    std::vector<Addr> live;
+    for (int i = 0; i < 2000; ++i) {
+        if (live.empty() || rng.chance(0.55)) {
+            const Addr a = rng.below(4096) * 8;
+            if (b.increment(a))
+                live.push_back(a);
+        } else {
+            const auto idx = rng.below(live.size());
+            b.decrement(live[idx]);
+            live.erase(live.begin() + idx);
+        }
+    }
+    // Drain everything: all counters must return to zero.
+    for (const Addr a : live)
+        b.decrement(a);
+    for (Addr a = 0; a < 4096; ++a)
+        EXPECT_FALSE(b.mayContain(a * 8));
+}
+
+TEST(CountingBloom, SaturationRefusesIncrement)
+{
+    CountingBloom b(16, 2, HashScheme::kLowerAddressBits); // max 3
+    const Addr a = 0x40;
+    EXPECT_TRUE(b.increment(a));
+    EXPECT_TRUE(b.increment(a));
+    EXPECT_TRUE(b.increment(a));
+    EXPECT_FALSE(b.increment(a));
+    EXPECT_EQ(b.overflows.value(), 1u);
+    EXPECT_EQ(b.count(a), 3u);
+}
+
+TEST(CountingBloom, WordGranularity)
+{
+    CountingBloom b(256, 6, HashScheme::kLowerAddressBits);
+    b.increment(0x100);
+    // Any byte within the same naturally-aligned word aliases.
+    EXPECT_TRUE(b.mayContain(0x107));
+    EXPECT_FALSE(b.mayContain(0x108));
+}
+
+TEST(CountingBloom, HashSchemesDifferOnHighBits)
+{
+    CountingBloom lab(256, 6, HashScheme::kLowerAddressBits);
+    CountingBloom pax(256, 6, HashScheme::kThreePieceXor);
+    // Two addresses differing only above the LAB field: LAB aliases,
+    // 3-PAX separates.
+    const Addr a = 0x100;
+    const Addr b2 = a + (1ull << (3 + 9));
+    EXPECT_EQ(lab.index(a), lab.index(b2));
+    EXPECT_NE(pax.index(a), pax.index(b2));
+}
+
+// ------------------------------------------------------------ LCF
+
+TEST(Lcf, TracksLastSrlIndex)
+{
+    LooseCheckFilter lcf({256, 6, HashScheme::kThreePieceXor});
+    EXPECT_TRUE(lcf.storeInserted(0x100, 7));
+    EXPECT_TRUE(lcf.mayMatch(0x100));
+    EXPECT_EQ(lcf.lastSrlIndex(0x100), 7u);
+    EXPECT_TRUE(lcf.storeInserted(0x100, 12));
+    EXPECT_EQ(lcf.lastSrlIndex(0x100), 12u);
+    lcf.storeRemoved(0x100);
+    lcf.storeRemoved(0x100);
+    EXPECT_FALSE(lcf.mayMatch(0x100));
+}
+
+TEST(Lcf, SaturationStallsInsertion)
+{
+    LooseCheckFilter lcf({16, 1, HashScheme::kLowerAddressBits});
+    EXPECT_TRUE(lcf.storeInserted(0x10, 0));
+    EXPECT_FALSE(lcf.storeInserted(0x10, 1)); // 1-bit counter full
+}
+
+TEST(Lcf, ClearResets)
+{
+    LooseCheckFilter lcf({64, 6, HashScheme::kLowerAddressBits});
+    lcf.storeInserted(0x8, 3);
+    lcf.clear();
+    EXPECT_FALSE(lcf.mayMatch(0x8));
+    EXPECT_EQ(lcf.lastSrlIndex(0x8), LooseCheckFilter::kNoIndex);
+}
+
+// ------------------------------------------------------------ FwdCache
+
+StoreId
+sid(std::uint64_t abs)
+{
+    // Ring of 1024 for tests; abs starts at 1.
+    return StoreId{static_cast<std::uint32_t>((abs - 1) % 1024),
+                   ((abs - 1) / 1024) % 2 != 0, abs};
+}
+
+TEST(FwdCache, BasicStoreLoad)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 8, 0x1122334455667788ull, sid(1));
+    const auto hit = fc.load(0x100, 8);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data, 0x1122334455667788ull);
+    EXPECT_EQ(hit->store_id.abs, 1u);
+    // Subset load.
+    const auto sub = fc.load(0x104, 4);
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->data, 0x11223344u);
+}
+
+TEST(FwdCache, MissOnUncoveredBytes)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 4, 0xaabbccdd, sid(1));
+    EXPECT_FALSE(fc.load(0x100, 8).has_value()); // upper half invalid
+    EXPECT_TRUE(fc.load(0x100, 4).has_value());
+    EXPECT_FALSE(fc.load(0x200, 8).has_value());
+}
+
+TEST(FwdCache, YoungerStoreOverwrites)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 8, 0x1111111111111111ull, sid(1));
+    fc.storeUpdate(0x100, 4, 0x22222222, sid(2));
+    const auto hit = fc.load(0x100, 8);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data, 0x1111111122222222ull);
+    EXPECT_EQ(hit->store_id.abs, 2u); // age representative updated
+}
+
+TEST(FwdCacheDeathTest, OutOfOrderUpdateViolatesContract)
+{
+    // Stores update the FC as they leave the L1 STQ head — strictly in
+    // program order. A property test showed that accepting out-of-
+    // order updates silently serves stale bytes, so the contract is
+    // enforced.
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 4, 0x22222222, sid(5));
+    EXPECT_DEATH(fc.storeUpdate(0x100, 8, 0x1, sid(2)),
+                 "out of program order");
+}
+
+TEST(FwdCache, DrainNeutralizesAgeTag)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 8, 0xabc, sid(3));
+    fc.storeDrained(0x100, 8, 0xabc, sid(3));
+    const auto hit = fc.load(0x100, 8);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(isNullStoreId(hit->store_id)); // mirrors cache state
+    // A subsequent live store becomes the new representative.
+    fc.storeUpdate(0x100, 8, 0xdef, sid(9));
+    EXPECT_EQ(fc.load(0x100, 8)->store_id.abs, 9u);
+}
+
+TEST(FwdCache, DrainOfSupersededStoreLeavesEntry)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 8, 0x1, sid(3));
+    fc.storeUpdate(0x100, 8, 0x2, sid(7)); // younger owns the word
+    fc.storeDrained(0x100, 8, 0x1, sid(3)); // older drains
+    const auto hit = fc.load(0x100, 8);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->data, 0x2u);
+    EXPECT_EQ(hit->store_id.abs, 7u);
+}
+
+TEST(FwdCache, DiscardAllEmpties)
+{
+    ForwardingCache fc({64, 4});
+    fc.storeUpdate(0x100, 8, 1, sid(1));
+    fc.storeUpdate(0x200, 8, 2, sid(2));
+    EXPECT_EQ(fc.liveEntries(), 2u);
+    fc.discardAll();
+    EXPECT_EQ(fc.liveEntries(), 0u);
+    EXPECT_FALSE(fc.load(0x100, 8).has_value());
+}
+
+TEST(FwdCache, EvictionWithinSet)
+{
+    ForwardingCache fc({8, 2}); // 4 sets x 2 ways
+    // Three words in the same set (set stride: 4 sets * 8 B = 32 B).
+    fc.storeUpdate(0x000, 8, 1, sid(1));
+    fc.storeUpdate(0x020, 8, 2, sid(2));
+    fc.storeUpdate(0x040, 8, 3, sid(3)); // evicts LRU (0x000)
+    EXPECT_EQ(fc.liveEvictions.value(), 1u);
+    EXPECT_FALSE(fc.load(0x000, 8).has_value());
+    EXPECT_TRUE(fc.load(0x020, 8).has_value());
+    EXPECT_TRUE(fc.load(0x040, 8).has_value());
+}
+
+TEST(FwdCache, WouldEvictLiveDetectsFullSets)
+{
+    ForwardingCache fc({8, 2});
+    EXPECT_FALSE(fc.wouldEvictLive(0x000));
+    fc.storeUpdate(0x000, 8, 1, sid(1));
+    fc.storeUpdate(0x020, 8, 2, sid(2));
+    EXPECT_FALSE(fc.wouldEvictLive(0x000)); // word present: no eviction
+    EXPECT_TRUE(fc.wouldEvictLive(0x040));  // new word, set full
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for load tracking: the conventional CAM load queue and
+ * the paper's set-associative secondary load buffer (violation
+ * predicate over nearest/forwarding store identifiers, oldest-
+ * violator selection, snooping, checkpoint bulk reset, overflow
+ * policies), plus the WAR order fence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lsq/load_buffer.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/order_fence.hh"
+#include "lsq/store_id.hh"
+
+namespace
+{
+
+using namespace srl;
+using namespace srl::lsq;
+
+// ------------------------------------------------------------ LoadQueue
+
+TEST(LoadQueue, StoreCheckFlagsStaleLoad)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    lq.executed(5, 0x100, 8, kInvalidSeqNum); // read the cache
+    // An older store to the same address executes afterwards.
+    const auto v = lq.storeCheck(3, 0x100, 8);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->load_seq, 5u);
+    EXPECT_EQ(v->ckpt, 1u);
+}
+
+TEST(LoadQueue, ForwardedFromStoreOrNewerIsSafe)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    lq.executed(5, 0x100, 8, 3); // forwarded from store 3
+    EXPECT_FALSE(lq.storeCheck(3, 0x100, 8).has_value()); // same store
+    EXPECT_FALSE(lq.storeCheck(2, 0x100, 8).has_value()); // older store
+    EXPECT_TRUE(lq.storeCheck(4, 0x100, 8).has_value());  // newer store
+}
+
+TEST(LoadQueue, YoungerStoreDoesNotViolateOlderLoad)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    lq.executed(5, 0x100, 8, kInvalidSeqNum);
+    EXPECT_FALSE(lq.storeCheck(9, 0x100, 8).has_value());
+}
+
+TEST(LoadQueue, OldestViolatorSelected)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    lq.allocate(7, 2);
+    lq.executed(5, 0x100, 8, kInvalidSeqNum);
+    lq.executed(7, 0x100, 8, kInvalidSeqNum);
+    const auto v = lq.storeCheck(3, 0x100, 8);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->load_seq, 5u);
+}
+
+TEST(LoadQueue, SnoopHitsAnyExecutedMatch)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    EXPECT_FALSE(lq.snoopCheck(0x100, 8).has_value()); // not executed
+    lq.executed(5, 0x100, 8, kInvalidSeqNum);
+    EXPECT_TRUE(lq.snoopCheck(0x100, 8).has_value());
+    EXPECT_FALSE(lq.snoopCheck(0x200, 8).has_value());
+}
+
+TEST(LoadQueue, CommitAndSquash)
+{
+    LoadQueue lq({16});
+    lq.allocate(1, 0);
+    lq.allocate(2, 0);
+    lq.allocate(3, 1);
+    lq.commitUpTo(1);
+    EXPECT_EQ(lq.size(), 2u);
+    lq.squashAfter(2);
+    EXPECT_EQ(lq.size(), 1u);
+}
+
+TEST(LoadQueue, ByteOverlapGranularity)
+{
+    LoadQueue lq({16});
+    lq.allocate(5, 1);
+    lq.executed(5, 0x104, 4, kInvalidSeqNum);
+    EXPECT_TRUE(lq.storeCheck(3, 0x100, 8).has_value());  // covers
+    EXPECT_FALSE(lq.storeCheck(3, 0x100, 4).has_value()); // disjoint
+}
+
+// --------------------------------------------------- SecondaryLoadBuffer
+
+StoreId
+sid(std::uint64_t abs)
+{
+    return StoreId{static_cast<std::uint32_t>((abs - 1) % 1024),
+                   ((abs - 1) / 1024) % 2 != 0, abs};
+}
+
+LoadBufferParams
+smallBuf(OverflowPolicy p = OverflowPolicy::kVictimBuffer)
+{
+    return {32, 2, p, 2}; // 16 sets x 2 ways, 2 victims
+}
+
+TEST(LoadBuffer, ViolationWhenLoadMissedOlderStore)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    // Load (nearest = store 5) read the cache (fwd = none).
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    // Store 3 (program-order before the load) completes: violation.
+    const auto v = b.storeCheck(sid(3), 0x100, 8);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->load_seq, 100u);
+    EXPECT_EQ(v->ckpt, 1u);
+}
+
+TEST(LoadBuffer, ForwardedFromSameOrNewerStoreIsSafe)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), sid(4));
+    EXPECT_FALSE(b.storeCheck(sid(4), 0x100, 8).has_value());
+    EXPECT_FALSE(b.storeCheck(sid(3), 0x100, 8).has_value());
+    // A store between the forwarder and the load: the load should have
+    // taken its data instead -> violation.
+    b.insert(101, 1, 0x200, 8, sid(5), sid(2));
+    EXPECT_TRUE(b.storeCheck(sid(3), 0x200, 8).has_value());
+}
+
+TEST(LoadBuffer, YoungerStoreNotAViolation)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    // Store 7 was allocated after the load's nearest store (5): the
+    // store is younger than the load; no violation.
+    EXPECT_FALSE(b.storeCheck(sid(7), 0x100, 8).has_value());
+}
+
+TEST(LoadBuffer, OldestViolatorAcrossWaysAndVictims)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(200, 2, 0x100, 8, sid(5), kNullStoreId);
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    b.insert(300, 3, 0x100, 8, sid(5), kNullStoreId); // to victims
+    const auto v = b.storeCheck(sid(3), 0x100, 8);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->load_seq, 100u);
+}
+
+TEST(LoadBuffer, SnoopNeedsNoAgeCheck)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), sid(5));
+    const auto v = b.snoopCheck(0x100, 8);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->load_seq, 100u);
+    EXPECT_FALSE(b.snoopCheck(0x900, 8).has_value());
+}
+
+TEST(LoadBuffer, CheckpointBulkReset)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    b.insert(101, 2, 0x108, 8, sid(5), kNullStoreId);
+    b.clearCheckpoint(1);
+    EXPECT_FALSE(b.storeCheck(sid(3), 0x100, 8).has_value());
+    EXPECT_TRUE(b.storeCheck(sid(3), 0x108, 8).has_value());
+}
+
+TEST(LoadBuffer, SquashAfterSeq)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    b.insert(200, 1, 0x108, 8, sid(5), kNullStoreId);
+    b.squashAfter(150);
+    EXPECT_TRUE(b.storeCheck(sid(3), 0x100, 8).has_value());
+    EXPECT_FALSE(b.storeCheck(sid(3), 0x108, 8).has_value());
+}
+
+TEST(LoadBuffer, VictimBufferAbsorbsOverflow)
+{
+    SecondaryLoadBuffer b(smallBuf(OverflowPolicy::kVictimBuffer));
+    // Three loads to set-conflicting addresses (stride 16 sets * 8 B).
+    EXPECT_FALSE(b.insert(1, 0, 0x000, 8, sid(5), kNullStoreId)
+                     .overflowed);
+    EXPECT_FALSE(b.insert(2, 0, 0x080, 8, sid(5), kNullStoreId)
+                     .overflowed);
+    EXPECT_FALSE(b.insert(3, 0, 0x100, 8, sid(5), kNullStoreId)
+                     .overflowed); // victim
+    EXPECT_FALSE(b.insert(4, 0, 0x180, 8, sid(5), kNullStoreId)
+                     .overflowed); // victim
+    EXPECT_TRUE(b.insert(5, 0, 0x200, 8, sid(5), kNullStoreId)
+                    .overflowed); // everything full
+    EXPECT_EQ(b.victimInserts.value(), 2u);
+}
+
+TEST(LoadBuffer, ViolatePolicyOverflowsImmediately)
+{
+    SecondaryLoadBuffer b(smallBuf(OverflowPolicy::kViolate));
+    b.insert(1, 0, 0x000, 8, sid(5), kNullStoreId);
+    b.insert(2, 0, 0x080, 8, sid(5), kNullStoreId);
+    EXPECT_TRUE(b.insert(3, 0, 0x100, 8, sid(5), kNullStoreId)
+                    .overflowed);
+}
+
+TEST(LoadBuffer, MultipleLoadsSameAddressCoexist)
+{
+    SecondaryLoadBuffer b(smallBuf());
+    b.insert(100, 1, 0x100, 8, sid(5), kNullStoreId);
+    b.insert(101, 1, 0x100, 8, sid(5), kNullStoreId);
+    EXPECT_EQ(b.liveEntries(), 2u);
+}
+
+// ------------------------------------------------------------ OrderFence
+
+TEST(OrderFence, StoreWaitsForOlderLoads)
+{
+    OrderFence f;
+    f.loadAllocated(10);
+    EXPECT_FALSE(f.storeMayDrain(15)); // load 10 outstanding
+    EXPECT_TRUE(f.storeMayDrain(5));   // store older than the load
+    f.loadCompleted(10);
+    EXPECT_TRUE(f.storeMayDrain(15));
+}
+
+TEST(OrderFence, SquashReleases)
+{
+    OrderFence f;
+    f.loadAllocated(10);
+    f.loadAllocated(20);
+    f.squashAfter(15);
+    EXPECT_FALSE(f.storeMayDrain(30)); // load 10 still outstanding
+    f.loadSquashed(10);
+    EXPECT_TRUE(f.storeMayDrain(30));
+}
+
+TEST(OrderFence, EmptyAllowsAll)
+{
+    OrderFence f;
+    EXPECT_TRUE(f.storeMayDrain(0));
+    EXPECT_EQ(f.outstandingLoads(), 0u);
+}
+
+} // namespace

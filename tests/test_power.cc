@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the analytical power/area model: calibration against
+ * the paper's published Section 6.2 datapoints, linear scaling in
+ * entries, linear dynamic scaling in activity, and the CAM-vs-RAM
+ * relative claims the paper's argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+
+namespace
+{
+
+using namespace srl::power;
+
+TEST(Power, CalibrationReproducesPaperTable)
+{
+    const auto rows = section62Comparison();
+    ASSERT_EQ(rows.size(), 3u);
+
+    // 512-entry L2 STQ: 1.4 mm^2, 95 mW leakage, 440 mW dynamic @10%.
+    EXPECT_NEAR(rows[0].model.area_mm2, 1.4, 0.01);
+    EXPECT_NEAR(rows[0].model.leakage_mw, 95.0, 0.5);
+    EXPECT_NEAR(rows[0].model.dynamic_mw, 440.0, 2.0);
+
+    // SRL + LCF: 0.35 mm^2, 40 mW, 30 mW.
+    EXPECT_NEAR(rows[1].model.area_mm2, 0.35, 0.01);
+    EXPECT_NEAR(rows[1].model.leakage_mw, 40.0, 0.5);
+    EXPECT_NEAR(rows[1].model.dynamic_mw, 30.0, 0.5);
+
+    // With the forwarding cache: 0.45 mm^2, 48 mW, 37 mW.
+    EXPECT_NEAR(rows[2].model.area_mm2, 0.45, 0.01);
+    EXPECT_NEAR(rows[2].model.leakage_mw, 48.0, 0.5);
+    EXPECT_NEAR(rows[2].model.dynamic_mw, 37.0, 0.5);
+}
+
+TEST(Power, FullLookupRateMatchesSpice)
+{
+    // 4.4 W if every load searches the 512-entry CAM (1 per cycle).
+    const auto tech = paperTechnology();
+    const auto pa = evaluate(l2StqDesign(512), {1.0, 0.0}, tech);
+    EXPECT_NEAR(pa.dynamic_mw, 4400.0, 20.0);
+}
+
+TEST(Power, AreaScalesLinearlyWithEntries)
+{
+    const auto tech = paperTechnology();
+    const auto a256 = evaluate(l2StqDesign(256), {0.1, 0}, tech);
+    const auto a512 = evaluate(l2StqDesign(512), {0.1, 0}, tech);
+    const auto a1024 = evaluate(l2StqDesign(1024), {0.1, 0}, tech);
+    EXPECT_NEAR(a512.area_mm2 / a256.area_mm2, 2.0, 1e-9);
+    EXPECT_NEAR(a1024.area_mm2 / a512.area_mm2, 2.0, 1e-9);
+    EXPECT_NEAR(a1024.leakage_mw / a256.leakage_mw, 4.0, 1e-9);
+}
+
+TEST(Power, DynamicScalesLinearlyWithActivity)
+{
+    const auto tech = paperTechnology();
+    const auto lo = evaluate(l2StqDesign(512), {0.05, 0}, tech);
+    const auto hi = evaluate(l2StqDesign(512), {0.50, 0}, tech);
+    EXPECT_NEAR(hi.dynamic_mw / lo.dynamic_mw, 10.0, 1e-9);
+}
+
+TEST(Power, CamCostsDominateRamAtEqualCapacity)
+{
+    // The paper's core claim: per tracked store, the CAM structure is
+    // several times more expensive in area and leakage than the
+    // SRL+LCF RAM structures.
+    const auto tech = paperTechnology();
+    const auto cam = evaluate(l2StqDesign(512), {0.10, 0}, tech);
+    const auto srl = evaluate(srlDesign(512), {0, 2.0}, tech);
+    const auto lcf = evaluate(lcfDesign(2048), {0, 2.0}, tech);
+    const double srl_area = srl.area_mm2 + lcf.area_mm2;
+    const double srl_total = srl.total_mw() + lcf.total_mw();
+    EXPECT_GT(cam.area_mm2 / srl_area, 3.0);
+    EXPECT_GT(cam.total_mw() / srl_total, 5.0);
+}
+
+TEST(Power, ZeroActivityLeavesOnlyLeakage)
+{
+    const auto tech = paperTechnology();
+    const auto pa = evaluate(l2StqDesign(512), {0.0, 0.0}, tech);
+    EXPECT_DOUBLE_EQ(pa.dynamic_mw, 0.0);
+    EXPECT_GT(pa.leakage_mw, 0.0);
+    EXPECT_DOUBLE_EQ(pa.total_mw(), pa.leakage_mw);
+}
+
+TEST(Power, MixedStructureSumsComponents)
+{
+    const auto tech = paperTechnology();
+    StructureDesign mixed{"mixed", 100, 10, 20, 30};
+    const auto both = evaluate(mixed, {0.5, 1.0}, tech);
+    const auto cam_only =
+        evaluate({"c", 100, 10, 0, 0}, {0.5, 1.0}, tech);
+    const auto ram_only =
+        evaluate({"r", 100, 0, 20, 0}, {0.5, 1.0}, tech);
+    const auto sram_only =
+        evaluate({"s", 100, 0, 0, 30}, {0.5, 1.0}, tech);
+    EXPECT_NEAR(both.area_mm2,
+                cam_only.area_mm2 + ram_only.area_mm2 +
+                    sram_only.area_mm2,
+                1e-12);
+    EXPECT_NEAR(both.dynamic_mw,
+                cam_only.dynamic_mw + ram_only.dynamic_mw +
+                    sram_only.dynamic_mw,
+                1e-9);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the predictors: gshare, perceptron, the hybrid
+ * chooser, and the store-sets memory dependence predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictor/branch.hh"
+#include "predictor/store_sets.hh"
+
+namespace
+{
+
+using namespace srl;
+using namespace srl::predictor;
+
+double
+trainAndMeasure(BranchPredictor &bp, unsigned iters,
+                bool (*pattern)(unsigned))
+{
+    const Addr pc = 0x400100;
+    unsigned wrong = 0;
+    for (unsigned i = 0; i < iters; ++i) {
+        const bool taken = pattern(i);
+        if (bp.predict(pc) != taken && i > iters / 4)
+            ++wrong;
+        bp.update(pc, taken);
+    }
+    return static_cast<double>(wrong) / (iters * 3 / 4);
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor g;
+    EXPECT_LT(trainAndMeasure(g, 1000, [](unsigned) { return true; }),
+              0.02);
+}
+
+TEST(Gshare, LearnsAlternatingViaHistory)
+{
+    GsharePredictor g;
+    EXPECT_LT(trainAndMeasure(
+                  g, 2000, [](unsigned i) { return (i & 1) == 0; }),
+              0.05);
+}
+
+TEST(Perceptron, LearnsBiasedBranch)
+{
+    PerceptronPredictor p;
+    EXPECT_LT(trainAndMeasure(p, 1000, [](unsigned) { return false; }),
+              0.02);
+}
+
+TEST(Perceptron, LearnsPeriodicPattern)
+{
+    PerceptronPredictor p;
+    EXPECT_LT(trainAndMeasure(
+                  p, 4000, [](unsigned i) { return (i % 4) == 0; }),
+              0.10);
+}
+
+TEST(Hybrid, TracksComponents)
+{
+    HybridPredictor h;
+    EXPECT_LT(trainAndMeasure(
+                  h, 4000, [](unsigned i) { return (i & 1) == 0; }),
+              0.05);
+    EXPECT_GT(h.lookups.value(), 0u);
+}
+
+TEST(Hybrid, RandomBranchMispredictsHalf)
+{
+    HybridPredictor h;
+    Random rng(3);
+    const Addr pc = 0x400200;
+    unsigned wrong = 0;
+    const unsigned n = 4000;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool taken = rng.chance(0.5);
+        if (h.predict(pc) != taken)
+            ++wrong;
+        h.update(pc, taken);
+    }
+    const double rate = static_cast<double>(wrong) / n;
+    EXPECT_GT(rate, 0.35);
+    EXPECT_LT(rate, 0.65);
+}
+
+// ------------------------------------------------------------ store sets
+
+TEST(StoreSets, NoPredictionUntilTrained)
+{
+    StoreSets ss({});
+    EXPECT_EQ(ss.predict(0x400000), kInvalidSeqNum);
+}
+
+TEST(StoreSets, PredictsAfterViolationTraining)
+{
+    StoreSets ss({});
+    const Addr load_pc = 0x400000, store_pc = 0x400100;
+
+    ss.trainViolation(load_pc, store_pc);
+    // The store at store_pc is fetched: its set's LFST entry points at
+    // it; the load then predicts dependence on that dynamic store.
+    ss.storeFetched(store_pc, 77);
+    EXPECT_EQ(ss.predict(load_pc), 77u);
+}
+
+TEST(StoreSets, RetireClearsLastFetched)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x400000, 0x400100);
+    ss.storeFetched(0x400100, 77);
+    ss.storeRetired(77);
+    EXPECT_EQ(ss.predict(0x400000), kInvalidSeqNum);
+}
+
+TEST(StoreSets, LaterFetchSupersedes)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x400000, 0x400100);
+    ss.storeFetched(0x400100, 77);
+    ss.storeFetched(0x400100, 99);
+    EXPECT_EQ(ss.predict(0x400000), 99u);
+}
+
+TEST(StoreSets, MergingKeepsBothStoresInOneSet)
+{
+    StoreSets ss({});
+    // Load conflicts with two different stores: sets merge, and the
+    // load follows whichever store of the merged set was fetched last.
+    ss.trainViolation(0x400000, 0x400100);
+    ss.trainViolation(0x400000, 0x400200);
+    ss.storeFetched(0x400100, 11);
+    EXPECT_EQ(ss.predict(0x400000), 11u);
+    ss.storeFetched(0x400200, 22);
+    EXPECT_EQ(ss.predict(0x400000), 22u);
+}
+
+TEST(StoreSets, UnrelatedPcsUnaffected)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x400000, 0x400100);
+    ss.storeFetched(0x400100, 5);
+    EXPECT_EQ(ss.predict(0x400004), kInvalidSeqNum);
+}
+
+TEST(StoreSets, PeriodicClearForgets)
+{
+    StoreSetsParams p;
+    p.clear_interval = 8;
+    StoreSets ss(p);
+    ss.trainViolation(0x400000, 0x400100);
+    ss.storeFetched(0x400100, 5);
+    // Push enough accesses to trip the periodic clear.
+    for (int i = 0; i < 16; ++i)
+        ss.predict(0x400800);
+    EXPECT_EQ(ss.predict(0x400000), kInvalidSeqNum);
+}
+
+} // namespace

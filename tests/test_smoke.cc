@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end smoke test: every store-queue model runs a small workload
+ * to completion and produces exactly the committed state of the
+ * in-order functional reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "core/simulator.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+using namespace srl;
+
+void
+runAndVerify(const core::ProcessorConfig &config,
+             const workload::SuiteProfile &suite, std::uint64_t uops)
+{
+    // Reference execution over an identical stream.
+    workload::Generator ref_gen(suite, uops);
+    core::ReferenceExecutor ref;
+    ref.run(ref_gen);
+
+    workload::Generator gen(suite, uops);
+    core::Processor cpu(config, gen);
+
+    std::uint64_t checked = 0;
+    cpu.setLoadCommitHook([&](SeqNum seq, Addr, unsigned,
+                              std::uint64_t value) {
+        ASSERT_TRUE(ref.hasLoad(seq));
+        ASSERT_EQ(value, ref.loadValue(seq))
+            << "load seq " << seq << " under " << config.name << "/"
+            << suite.name;
+        ++checked;
+    });
+
+    const core::ProcessorStats &s = cpu.run(50'000'000);
+    EXPECT_TRUE(cpu.done()) << config.name << "/" << suite.name;
+    EXPECT_EQ(s.committed_uops, uops);
+    EXPECT_GT(checked, 0u);
+    EXPECT_GT(s.ipc(), 0.0);
+}
+
+TEST(Smoke, SrlModelMatchesReference)
+{
+    runAndVerify(core::srlConfig(), workload::suiteProfile("SINT2K"),
+                 20000);
+}
+
+TEST(Smoke, BaselineModelMatchesReference)
+{
+    runAndVerify(core::baselineConfig(),
+                 workload::suiteProfile("SINT2K"), 20000);
+}
+
+TEST(Smoke, HierarchicalModelMatchesReference)
+{
+    runAndVerify(core::hierarchicalConfig(),
+                 workload::suiteProfile("SINT2K"), 20000);
+}
+
+TEST(Smoke, IdealModelMatchesReference)
+{
+    runAndVerify(core::idealConfig(), workload::suiteProfile("SINT2K"),
+                 20000);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the binary trace format: round-trip fidelity,
+ * header/count handling, replay equivalence through the simulator,
+ * and error handling for corrupt files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "core/processor.hh"
+#include "core/simulator.hh"
+#include "isa/trace.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace srl;
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Trace, RoundTripPreservesEveryField)
+{
+    const auto path = tmpPath("roundtrip.srlt");
+    const auto suite = workload::suiteProfile("MM");
+
+    {
+        workload::Generator gen(suite, 5000);
+        isa::TraceWriter w(path);
+        EXPECT_EQ(w.appendAll(gen), 5000u);
+        w.finish();
+    }
+
+    workload::Generator ref(suite, 5000);
+    isa::TraceReader r(path);
+    EXPECT_EQ(r.count(), 5000u);
+    isa::Uop a, b;
+    while (ref.next(a)) {
+        ASSERT_TRUE(r.next(b));
+        ASSERT_EQ(a.seq, b.seq);
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.cls, b.cls);
+        ASSERT_EQ(a.dst, b.dst);
+        ASSERT_EQ(a.src1, b.src1);
+        ASSERT_EQ(a.src2, b.src2);
+        ASSERT_EQ(a.effAddr, b.effAddr);
+        ASSERT_EQ(a.memSize, b.memSize);
+        ASSERT_EQ(a.storeData, b.storeData);
+        ASSERT_EQ(a.taken, b.taken);
+    }
+    EXPECT_FALSE(r.next(b));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayedTraceSimulatesIdentically)
+{
+    const auto path = tmpPath("replay.srlt");
+    const auto suite = workload::suiteProfile("SINT2K");
+    const std::uint64_t uops = 8000;
+
+    {
+        workload::Generator gen(suite, uops);
+        isa::TraceWriter w(path);
+        w.appendAll(gen);
+        w.finish();
+    }
+
+    // Simulate from the generator and from the trace: bit-identical
+    // cycle counts and stats.
+    workload::Generator gen(suite, uops);
+    core::Processor cpu_gen(core::srlConfig(), gen);
+    const auto &s1 = cpu_gen.run(50'000'000);
+
+    isa::TraceReader reader(path);
+    core::Processor cpu_trace(core::srlConfig(), reader);
+    const auto &s2 = cpu_trace.run(50'000'000);
+
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.committed_uops, s2.committed_uops);
+    EXPECT_EQ(s1.mem_misses, s2.mem_misses);
+    EXPECT_EQ(s1.redone_stores, s2.redone_stores);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTraceIsValid)
+{
+    const auto path = tmpPath("empty.srlt");
+    {
+        isa::TraceWriter w(path);
+        w.finish();
+    }
+    isa::TraceReader r(path);
+    EXPECT_EQ(r.count(), 0u);
+    isa::Uop u;
+    EXPECT_FALSE(r.next(u));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ isa::TraceReader r("/nonexistent/dir/x.srlt"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Trace, BadMagicIsFatal)
+{
+    const auto path = tmpPath("badmagic.srlt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOPEnope12345678", f);
+    std::fclose(f);
+    EXPECT_EXIT({ isa::TraceReader r2(path); },
+                ::testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, TruncatedRecordIsFatal)
+{
+    const auto path = tmpPath("trunc.srlt");
+    {
+        workload::Generator gen(workload::suiteProfile("PROD"), 100);
+        isa::TraceWriter w(path);
+        w.appendAll(gen);
+        w.finish();
+    }
+    // Chop the file short of its declared record count.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 24), 0);
+
+    isa::TraceReader r(path);
+    isa::Uop u;
+    EXPECT_EXIT(
+        {
+            while (r.next(u)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the uop-stream validator: clean generated streams and
+ * recorded traces must validate; each invariant violation is detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/validate.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+using namespace srl;
+using isa::Uop;
+using isa::UopClass;
+
+Uop
+okLoad(SeqNum seq)
+{
+    Uop u;
+    u.seq = seq;
+    u.cls = UopClass::kLoad;
+    u.dst = 12;
+    u.effAddr = 0x1000;
+    u.memSize = 8;
+    return u;
+}
+
+TEST(Validate, GeneratedStreamsAreClean)
+{
+    for (const auto &p : workload::suiteProfiles()) {
+        workload::Generator g(p, 20000);
+        const auto errors = isa::validateStream(g);
+        EXPECT_TRUE(errors.empty())
+            << p.name << ": " << errors.front().message;
+    }
+}
+
+TEST(Validate, EmptyStreamFlagged)
+{
+    workload::SequenceStream s({});
+    const auto errors = isa::validateStream(s);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].message.find("empty"), std::string::npos);
+}
+
+TEST(Validate, SequenceGapDetected)
+{
+    auto a = okLoad(0);
+    auto b = okLoad(2); // gap
+    workload::SequenceStream s({a, b});
+    const auto errors = isa::validateStream(s);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].message.find("sequence"), std::string::npos);
+}
+
+TEST(Validate, UnalignedAccessDetected)
+{
+    auto a = okLoad(0);
+    a.effAddr = 0x1003;
+    a.memSize = 4;
+    std::vector<isa::ValidationError> errors;
+    isa::validateUop(a, 0, errors);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].message.find("unaligned"), std::string::npos);
+}
+
+TEST(Validate, BadSizeDetected)
+{
+    auto a = okLoad(0);
+    a.memSize = 3;
+    std::vector<isa::ValidationError> errors;
+    isa::validateUop(a, 0, errors);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].message.find("size"), std::string::npos);
+}
+
+TEST(Validate, ClassFieldMismatches)
+{
+    Uop st;
+    st.seq = 0;
+    st.cls = UopClass::kStore;
+    st.dst = 5; // stores must not write a register
+    st.effAddr = 0x1000;
+    st.memSize = 8;
+    std::vector<isa::ValidationError> errors;
+    isa::validateUop(st, 0, errors);
+    ASSERT_FALSE(errors.empty());
+
+    errors.clear();
+    Uop alu;
+    alu.seq = 0;
+    alu.cls = UopClass::kIntAlu; // no destination
+    isa::validateUop(alu, 0, errors);
+    ASSERT_FALSE(errors.empty());
+}
+
+TEST(Validate, RegisterRangeChecked)
+{
+    auto a = okLoad(0);
+    a.src1 = 70; // beyond kNumArchRegs, not the invalid marker
+    std::vector<isa::ValidationError> errors;
+    isa::validateUop(a, 0, errors);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].message.find("register"), std::string::npos);
+}
+
+TEST(Validate, ErrorCapRespected)
+{
+    std::vector<Uop> bad;
+    for (int i = 0; i < 64; ++i)
+        bad.push_back(okLoad(1000 + i)); // every seq wrong
+    workload::SequenceStream s(std::move(bad));
+    const auto errors = isa::validateStream(s, 8);
+    EXPECT_LE(errors.size(), 9u); // 8 + the "stopped" marker
+}
+
+} // namespace
