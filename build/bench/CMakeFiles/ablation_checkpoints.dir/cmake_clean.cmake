@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoints.dir/ablation_checkpoints.cc.o"
+  "CMakeFiles/ablation_checkpoints.dir/ablation_checkpoints.cc.o.d"
+  "ablation_checkpoints"
+  "ablation_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latency_tolerance.dir/ablation_latency_tolerance.cc.o"
+  "CMakeFiles/ablation_latency_tolerance.dir/ablation_latency_tolerance.cc.o.d"
+  "ablation_latency_tolerance"
+  "ablation_latency_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loadbuf.dir/ablation_loadbuf.cc.o"
+  "CMakeFiles/ablation_loadbuf.dir/ablation_loadbuf.cc.o.d"
+  "ablation_loadbuf"
+  "ablation_loadbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loadbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

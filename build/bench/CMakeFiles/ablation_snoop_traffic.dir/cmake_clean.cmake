@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snoop_traffic.dir/ablation_snoop_traffic.cc.o"
+  "CMakeFiles/ablation_snoop_traffic.dir/ablation_snoop_traffic.cc.o.d"
+  "ablation_snoop_traffic"
+  "ablation_snoop_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snoop_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srl_depth.dir/ablation_srl_depth.cc.o"
+  "CMakeFiles/ablation_srl_depth.dir/ablation_srl_depth.cc.o.d"
+  "ablation_srl_depth"
+  "ablation_srl_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srl_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fwd_cache.dir/fig10_fwd_cache.cc.o"
+  "CMakeFiles/fig10_fwd_cache.dir/fig10_fwd_cache.cc.o.d"
+  "fig10_fwd_cache"
+  "fig10_fwd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fwd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_stq_size.cc" "bench/CMakeFiles/fig2_stq_size.dir/fig2_stq_size.cc.o" "gcc" "bench/CMakeFiles/fig2_stq_size.dir/fig2_stq_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/srl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/srl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfp/CMakeFiles/srl_cfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsq/CMakeFiles/srl_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/srl_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/srl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/srl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/srl_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stq_size.dir/fig2_stq_size.cc.o"
+  "CMakeFiles/fig2_stq_size.dir/fig2_stq_size.cc.o.d"
+  "fig2_stq_size"
+  "fig2_stq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

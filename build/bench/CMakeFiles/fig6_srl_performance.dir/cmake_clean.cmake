@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_srl_performance.dir/fig6_srl_performance.cc.o"
+  "CMakeFiles/fig6_srl_performance.dir/fig6_srl_performance.cc.o.d"
+  "fig6_srl_performance"
+  "fig6_srl_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_srl_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

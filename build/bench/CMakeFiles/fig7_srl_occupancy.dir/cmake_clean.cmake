@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_srl_occupancy.dir/fig7_srl_occupancy.cc.o"
+  "CMakeFiles/fig7_srl_occupancy.dir/fig7_srl_occupancy.cc.o.d"
+  "fig7_srl_occupancy"
+  "fig7_srl_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_srl_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lcf_forwarding.dir/fig8_lcf_forwarding.cc.o"
+  "CMakeFiles/fig8_lcf_forwarding.dir/fig8_lcf_forwarding.cc.o.d"
+  "fig8_lcf_forwarding"
+  "fig8_lcf_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lcf_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

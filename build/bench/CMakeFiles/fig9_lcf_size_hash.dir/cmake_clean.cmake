@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_lcf_size_hash.dir/fig9_lcf_size_hash.cc.o"
+  "CMakeFiles/fig9_lcf_size_hash.dir/fig9_lcf_size_hash.cc.o.d"
+  "fig9_lcf_size_hash"
+  "fig9_lcf_size_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_lcf_size_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_power_area.dir/sec62_power_area.cc.o"
+  "CMakeFiles/sec62_power_area.dir/sec62_power_area.cc.o.d"
+  "sec62_power_area"
+  "sec62_power_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

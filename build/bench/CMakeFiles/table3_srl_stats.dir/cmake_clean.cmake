@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_srl_stats.dir/table3_srl_stats.cc.o"
+  "CMakeFiles/table3_srl_stats.dir/table3_srl_stats.cc.o.d"
+  "table3_srl_stats"
+  "table3_srl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_srl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

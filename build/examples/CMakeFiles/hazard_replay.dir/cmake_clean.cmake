@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_replay.dir/hazard_replay.cpp.o"
+  "CMakeFiles/hazard_replay.dir/hazard_replay.cpp.o.d"
+  "hazard_replay"
+  "hazard_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

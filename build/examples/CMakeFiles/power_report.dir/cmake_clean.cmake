@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_report.dir/power_report.cpp.o"
+  "CMakeFiles/power_report.dir/power_report.cpp.o.d"
+  "power_report"
+  "power_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

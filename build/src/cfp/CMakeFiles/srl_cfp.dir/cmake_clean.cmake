@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_cfp.dir/checkpoint.cc.o"
+  "CMakeFiles/srl_cfp.dir/checkpoint.cc.o.d"
+  "libsrl_cfp.a"
+  "libsrl_cfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_cfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

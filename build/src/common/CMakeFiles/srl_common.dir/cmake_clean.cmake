@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_common.dir/debug.cc.o"
+  "CMakeFiles/srl_common.dir/debug.cc.o.d"
+  "CMakeFiles/srl_common.dir/logging.cc.o"
+  "CMakeFiles/srl_common.dir/logging.cc.o.d"
+  "CMakeFiles/srl_common.dir/stats.cc.o"
+  "CMakeFiles/srl_common.dir/stats.cc.o.d"
+  "libsrl_common.a"
+  "libsrl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

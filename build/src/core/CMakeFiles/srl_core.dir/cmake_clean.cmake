@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_core.dir/config.cc.o"
+  "CMakeFiles/srl_core.dir/config.cc.o.d"
+  "CMakeFiles/srl_core.dir/processor.cc.o"
+  "CMakeFiles/srl_core.dir/processor.cc.o.d"
+  "CMakeFiles/srl_core.dir/simulator.cc.o"
+  "CMakeFiles/srl_core.dir/simulator.cc.o.d"
+  "CMakeFiles/srl_core.dir/spec_mem.cc.o"
+  "CMakeFiles/srl_core.dir/spec_mem.cc.o.d"
+  "libsrl_core.a"
+  "libsrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

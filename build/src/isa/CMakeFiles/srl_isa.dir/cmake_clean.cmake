@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_isa.dir/trace.cc.o"
+  "CMakeFiles/srl_isa.dir/trace.cc.o.d"
+  "CMakeFiles/srl_isa.dir/uop.cc.o"
+  "CMakeFiles/srl_isa.dir/uop.cc.o.d"
+  "CMakeFiles/srl_isa.dir/validate.cc.o"
+  "CMakeFiles/srl_isa.dir/validate.cc.o.d"
+  "libsrl_isa.a"
+  "libsrl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

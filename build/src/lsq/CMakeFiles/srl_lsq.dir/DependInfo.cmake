@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsq/fwd_cache.cc" "src/lsq/CMakeFiles/srl_lsq.dir/fwd_cache.cc.o" "gcc" "src/lsq/CMakeFiles/srl_lsq.dir/fwd_cache.cc.o.d"
+  "/root/repo/src/lsq/load_buffer.cc" "src/lsq/CMakeFiles/srl_lsq.dir/load_buffer.cc.o" "gcc" "src/lsq/CMakeFiles/srl_lsq.dir/load_buffer.cc.o.d"
+  "/root/repo/src/lsq/load_queue.cc" "src/lsq/CMakeFiles/srl_lsq.dir/load_queue.cc.o" "gcc" "src/lsq/CMakeFiles/srl_lsq.dir/load_queue.cc.o.d"
+  "/root/repo/src/lsq/srl.cc" "src/lsq/CMakeFiles/srl_lsq.dir/srl.cc.o" "gcc" "src/lsq/CMakeFiles/srl_lsq.dir/srl.cc.o.d"
+  "/root/repo/src/lsq/store_queue.cc" "src/lsq/CMakeFiles/srl_lsq.dir/store_queue.cc.o" "gcc" "src/lsq/CMakeFiles/srl_lsq.dir/store_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

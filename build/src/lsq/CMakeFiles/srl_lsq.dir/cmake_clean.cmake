@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_lsq.dir/fwd_cache.cc.o"
+  "CMakeFiles/srl_lsq.dir/fwd_cache.cc.o.d"
+  "CMakeFiles/srl_lsq.dir/load_buffer.cc.o"
+  "CMakeFiles/srl_lsq.dir/load_buffer.cc.o.d"
+  "CMakeFiles/srl_lsq.dir/load_queue.cc.o"
+  "CMakeFiles/srl_lsq.dir/load_queue.cc.o.d"
+  "CMakeFiles/srl_lsq.dir/srl.cc.o"
+  "CMakeFiles/srl_lsq.dir/srl.cc.o.d"
+  "CMakeFiles/srl_lsq.dir/store_queue.cc.o"
+  "CMakeFiles/srl_lsq.dir/store_queue.cc.o.d"
+  "libsrl_lsq.a"
+  "libsrl_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/cache.cc" "src/memsys/CMakeFiles/srl_memsys.dir/cache.cc.o" "gcc" "src/memsys/CMakeFiles/srl_memsys.dir/cache.cc.o.d"
+  "/root/repo/src/memsys/hierarchy.cc" "src/memsys/CMakeFiles/srl_memsys.dir/hierarchy.cc.o" "gcc" "src/memsys/CMakeFiles/srl_memsys.dir/hierarchy.cc.o.d"
+  "/root/repo/src/memsys/main_memory.cc" "src/memsys/CMakeFiles/srl_memsys.dir/main_memory.cc.o" "gcc" "src/memsys/CMakeFiles/srl_memsys.dir/main_memory.cc.o.d"
+  "/root/repo/src/memsys/prefetcher.cc" "src/memsys/CMakeFiles/srl_memsys.dir/prefetcher.cc.o" "gcc" "src/memsys/CMakeFiles/srl_memsys.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_memsys.dir/cache.cc.o"
+  "CMakeFiles/srl_memsys.dir/cache.cc.o.d"
+  "CMakeFiles/srl_memsys.dir/hierarchy.cc.o"
+  "CMakeFiles/srl_memsys.dir/hierarchy.cc.o.d"
+  "CMakeFiles/srl_memsys.dir/main_memory.cc.o"
+  "CMakeFiles/srl_memsys.dir/main_memory.cc.o.d"
+  "CMakeFiles/srl_memsys.dir/prefetcher.cc.o"
+  "CMakeFiles/srl_memsys.dir/prefetcher.cc.o.d"
+  "libsrl_memsys.a"
+  "libsrl_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

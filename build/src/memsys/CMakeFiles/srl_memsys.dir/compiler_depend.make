@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for srl_memsys.
+# This may be replaced when dependencies are built.

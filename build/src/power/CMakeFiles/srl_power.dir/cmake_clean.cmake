@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_power.dir/model.cc.o"
+  "CMakeFiles/srl_power.dir/model.cc.o.d"
+  "libsrl_power.a"
+  "libsrl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

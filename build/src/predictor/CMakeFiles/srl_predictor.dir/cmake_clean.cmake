@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_predictor.dir/branch.cc.o"
+  "CMakeFiles/srl_predictor.dir/branch.cc.o.d"
+  "CMakeFiles/srl_predictor.dir/store_sets.cc.o"
+  "CMakeFiles/srl_predictor.dir/store_sets.cc.o.d"
+  "libsrl_predictor.a"
+  "libsrl_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/srl_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/srl_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/prewarm.cc" "src/workload/CMakeFiles/srl_workload.dir/prewarm.cc.o" "gcc" "src/workload/CMakeFiles/srl_workload.dir/prewarm.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/srl_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/srl_workload.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/srl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/srl_memsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_workload.dir/generator.cc.o"
+  "CMakeFiles/srl_workload.dir/generator.cc.o.d"
+  "CMakeFiles/srl_workload.dir/prewarm.cc.o"
+  "CMakeFiles/srl_workload.dir/prewarm.cc.o.d"
+  "CMakeFiles/srl_workload.dir/profile.cc.o"
+  "CMakeFiles/srl_workload.dir/profile.cc.o.d"
+  "libsrl_workload.a"
+  "libsrl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

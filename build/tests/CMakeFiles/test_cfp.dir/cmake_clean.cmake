@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfp.dir/test_cfp.cc.o"
+  "CMakeFiles/test_cfp.dir/test_cfp.cc.o.d"
+  "test_cfp"
+  "test_cfp.pdb"
+  "test_cfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cfp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_directed.dir/test_core_directed.cc.o"
+  "CMakeFiles/test_core_directed.dir/test_core_directed.cc.o.d"
+  "test_core_directed"
+  "test_core_directed.pdb"
+  "test_core_directed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

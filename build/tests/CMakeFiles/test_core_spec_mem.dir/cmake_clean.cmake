@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_spec_mem.dir/test_core_spec_mem.cc.o"
+  "CMakeFiles/test_core_spec_mem.dir/test_core_spec_mem.cc.o.d"
+  "test_core_spec_mem"
+  "test_core_spec_mem.pdb"
+  "test_core_spec_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_spec_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hazard_matrix.dir/test_hazard_matrix.cc.o"
+  "CMakeFiles/test_hazard_matrix.dir/test_hazard_matrix.cc.o.d"
+  "test_hazard_matrix"
+  "test_hazard_matrix.pdb"
+  "test_hazard_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hazard_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

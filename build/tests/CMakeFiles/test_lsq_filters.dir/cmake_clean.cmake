@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsq_filters.dir/test_lsq_filters.cc.o"
+  "CMakeFiles/test_lsq_filters.dir/test_lsq_filters.cc.o.d"
+  "test_lsq_filters"
+  "test_lsq_filters.pdb"
+  "test_lsq_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsq_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

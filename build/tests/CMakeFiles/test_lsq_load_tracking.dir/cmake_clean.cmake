@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsq_load_tracking.dir/test_lsq_load_tracking.cc.o"
+  "CMakeFiles/test_lsq_load_tracking.dir/test_lsq_load_tracking.cc.o.d"
+  "test_lsq_load_tracking"
+  "test_lsq_load_tracking.pdb"
+  "test_lsq_load_tracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsq_load_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

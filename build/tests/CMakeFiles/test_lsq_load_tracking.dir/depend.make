@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lsq_load_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsq_srl.dir/test_lsq_srl.cc.o"
+  "CMakeFiles/test_lsq_srl.dir/test_lsq_srl.cc.o.d"
+  "test_lsq_srl"
+  "test_lsq_srl.pdb"
+  "test_lsq_srl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsq_srl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsq_store_queue.dir/test_lsq_store_queue.cc.o"
+  "CMakeFiles/test_lsq_store_queue.dir/test_lsq_store_queue.cc.o.d"
+  "test_lsq_store_queue"
+  "test_lsq_store_queue.pdb"
+  "test_lsq_store_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsq_store_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

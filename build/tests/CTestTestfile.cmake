@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq_store_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq_srl[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq_load_tracking[1]_include.cmake")
+include("/root/repo/build/tests/test_cfp[1]_include.cmake")
+include("/root/repo/build/tests/test_core_spec_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_core_directed[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_core_hierarchical[1]_include.cmake")
+include("/root/repo/build/tests/test_debug[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_hazard_matrix[1]_include.cmake")
