@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/simulator.hh"
+#include "runner/sweep.hh"
 #include "workload/profile.hh"
 
 namespace srl
@@ -30,6 +31,8 @@ struct BenchArgs
     std::uint64_t uops = 200000;
     std::vector<workload::SuiteProfile> suites =
         workload::suiteProfiles();
+    unsigned jobs = 0;        ///< sweep workers; 0 = all hardware threads
+    std::uint64_t seed = 0;   ///< 0 = each suite's canonical seed
 };
 
 inline BenchArgs
@@ -41,14 +44,42 @@ parseArgs(int argc, char **argv)
             args.uops = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
             args.suites = {workload::suiteProfile(argv[++i])};
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            args.jobs =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            args.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--uops N] [--suite NAME]\n",
+                         "usage: %s [--uops N] [--suite NAME] "
+                         "[--jobs N] [--seed S]\n",
                          argv[0]);
             std::exit(1);
         }
     }
     return args;
+}
+
+inline runner::SweepOptions
+sweepOptions(const BenchArgs &args)
+{
+    runner::SweepOptions opts;
+    opts.jobs = args.jobs;
+    opts.seed = args.seed;
+    return opts;
+}
+
+/** IPC of run @p idx; fatal if that run failed. */
+inline double
+runIpc(const stats::StatsReport &rep, std::size_t idx)
+{
+    const stats::RunRecord &r = rep.runs.at(idx);
+    if (r.failed()) {
+        std::fprintf(stderr, "run '%s' failed: %s\n", r.name.c_str(),
+                     r.error.c_str());
+        std::exit(1);
+    }
+    return r.metric("ipc");
 }
 
 /** Print a header row: label column plus one column per suite. */
@@ -70,6 +101,31 @@ printRow(const std::string &label, const std::vector<double> &values)
     for (const double v : values)
         std::printf(" %8.2f", v);
     std::printf("\n");
+}
+
+/**
+ * Run configs x suites through the sweep runner (all points in one
+ * parallel batch, baseline included) and print one row per
+ * non-baseline config as percent speedup over configs[0].
+ */
+inline void
+runAndPrintSpeedups(
+    const std::vector<std::pair<std::string, core::ProcessorConfig>>
+        &configs,
+    const BenchArgs &args)
+{
+    const auto points =
+        runner::matrixPoints(configs, args.suites, args.uops);
+    const auto rep = runner::runSweep(points, sweepOptions(args));
+    const std::size_t ns = args.suites.size();
+    for (std::size_t c = 1; c < configs.size(); ++c) {
+        std::vector<double> row;
+        for (std::size_t s = 0; s < ns; ++s) {
+            row.push_back(core::percentSpeedup(
+                runIpc(rep, c * ns + s), runIpc(rep, s)));
+        }
+        printRow(configs[c].first, row);
+    }
 }
 
 } // namespace bench

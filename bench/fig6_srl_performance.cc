@@ -6,6 +6,10 @@
  * store queue (48 L1 + 1K/8-cycle CAM L2 + MTB), and (c) an ideal
  * 1K-entry 3-cycle store queue.
  *
+ * All (config, suite) points run in one parallel sweep batch through
+ * the runner (`--jobs N` controls workers; the default uses every
+ * hardware thread).
+ *
  * Expected shape (paper): SRL competitive with the hierarchical design
  * across suites, ahead on WS, slightly behind on SINT2K/WEB/MM/SERVER,
  * and within ~6% of the ideal STQ.
@@ -23,26 +27,13 @@ main(int argc, char **argv)
                 "(%% speedup over 48-entry STQ) ===\n");
     bench::printSuiteHeader("configuration", args.suites);
 
-    std::vector<double> base_ipc;
-    for (const auto &suite : args.suites) {
-        base_ipc.push_back(
-            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
-    }
-
     const std::vector<std::pair<std::string, core::ProcessorConfig>>
         configs = {
+            {"baseline", core::baselineConfig()},
             {"SRL", core::srlConfig()},
             {"Hierarchical STQ", core::hierarchicalConfig()},
             {"Ideal STQ", core::idealConfig()},
         };
-
-    for (const auto &[label, cfg] : configs) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < args.suites.size(); ++i) {
-            const auto r = core::runOne(cfg, args.suites[i], args.uops);
-            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
-        }
-        bench::printRow(label, row);
-    }
+    bench::runAndPrintSpeedups(configs, args);
     return 0;
 }

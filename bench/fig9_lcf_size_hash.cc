@@ -4,6 +4,9 @@
  * percent speedup over the 48-entry baseline for {no LCF, 256-entry,
  * 2K-entry} x {Lower-Address-Bits, 3-Piece-Address-XOR} indexing.
  *
+ * All (config, suite) points run in one parallel sweep batch through
+ * the runner (`--jobs N` controls workers).
+ *
  * Expected shape (paper): little sensitivity to the hash function in
  * suite averages, greater sensitivity to LCF size (especially SFP2K);
  * a 256-entry LCF performs within ~2% of a 2K-entry LCF and well above
@@ -22,13 +25,8 @@ main(int argc, char **argv)
                 "(%% speedup over 48-entry STQ) ===\n");
     bench::printSuiteHeader("configuration", args.suites);
 
-    std::vector<double> base_ipc;
-    for (const auto &suite : args.suites) {
-        base_ipc.push_back(
-            core::runOne(core::baselineConfig(), suite, args.uops).ipc);
-    }
-
     std::vector<std::pair<std::string, core::ProcessorConfig>> configs;
+    configs.emplace_back("baseline", core::baselineConfig());
     {
         core::ProcessorConfig c = core::srlConfig();
         c.srl.use_lcf = false;
@@ -49,14 +47,6 @@ main(int argc, char **argv)
                                  c);
         }
     }
-
-    for (const auto &[label, cfg] : configs) {
-        std::vector<double> row;
-        for (std::size_t i = 0; i < args.suites.size(); ++i) {
-            const auto r = core::runOne(cfg, args.suites[i], args.uops);
-            row.push_back(core::percentSpeedup(r.ipc, base_ipc[i]));
-        }
-        bench::printRow(label, row);
-    }
+    bench::runAndPrintSpeedups(configs, args);
     return 0;
 }

@@ -7,14 +7,19 @@
  * of study a microarchitect would run before committing to the paper's
  * chosen configuration.
  *
- * Usage: design_space [suite] [uops]
+ * Every point runs in one parallel batch through the sweep runner, so
+ * the whole exploration takes roughly one simulation's wall-clock per
+ * hardware thread.
+ *
+ * Usage: design_space [suite] [uops] [jobs]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/simulator.hh"
+#include "runner/sweep.hh"
 
 using namespace srl;
 
@@ -22,12 +27,20 @@ namespace
 {
 
 void
-report(const char *label, const core::RunResult &r, double base_ipc)
+report(const stats::RunRecord &r, double base_ipc)
 {
+    if (r.failed()) {
+        std::printf("%-40s  FAILED: %s\n", r.name.c_str(),
+                    r.error.c_str());
+        return;
+    }
+    const double ipc = r.metric("ipc");
     std::printf("%-40s  ipc %6.3f  speedup %6.2f%%  occupied %5.1f%%  "
                 "stalls/10k %5.1f\n",
-                label, r.ipc, core::percentSpeedup(r.ipc, base_ipc),
-                r.pct_time_srl_occupied, r.srl_stalls_per_10k);
+                r.name.c_str(), ipc,
+                core::percentSpeedup(ipc, base_ipc),
+                r.metric("pct_time_srl_occupied"),
+                r.metric("srl_stalls_per_10k"));
 }
 
 } // namespace
@@ -38,44 +51,49 @@ main(int argc, char **argv)
     const std::string suite_name = argc > 1 ? argv[1] : "SFP2K";
     const std::uint64_t uops =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+    const unsigned jobs =
+        argc > 3
+            ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+            : 0;
     const auto suite = workload::suiteProfile(suite_name);
 
     std::printf("SRL design space on %s (%llu uops)\n",
                 suite.name.c_str(),
                 static_cast<unsigned long long>(uops));
 
-    const double base_ipc =
-        core::runOne(core::baselineConfig(), suite, uops).ipc;
-    std::printf("baseline (48-entry STQ) ipc %.3f\n\n", base_ipc);
+    // Sections of the study; each names a half-open range of points.
+    std::vector<runner::SweepPoint> points;
+    std::vector<std::pair<const char *, std::size_t>> sections;
+    const auto add = [&](const std::string &name,
+                         const core::ProcessorConfig &cfg) {
+        points.push_back({name, cfg, suite, uops});
+    };
 
-    std::printf("== SRL depth ==\n");
+    add("baseline (48-entry STQ)", core::baselineConfig());
+
+    sections.emplace_back("SRL depth", points.size());
     for (const unsigned depth : {128u, 256u, 512u, 1024u}) {
         auto cfg = core::srlConfig();
         cfg.srl.srl.capacity = depth;
-        const auto r = core::runOne(cfg, suite, uops);
-        char label[64];
-        std::snprintf(label, sizeof(label), "srl depth %u", depth);
-        report(label, r, base_ipc);
+        add("srl depth " + std::to_string(depth), cfg);
     }
 
-    std::printf("\n== LCF size x hash ==\n");
+    sections.emplace_back("LCF size x hash", points.size());
     for (const auto hash : {lsq::HashScheme::kLowerAddressBits,
                             lsq::HashScheme::kThreePieceXor}) {
         for (const unsigned entries : {256u, 1024u, 2048u}) {
             auto cfg = core::srlConfig();
             cfg.srl.lcf.entries = entries;
             cfg.srl.lcf.hash = hash;
-            const auto r = core::runOne(cfg, suite, uops);
-            char label[64];
-            std::snprintf(label, sizeof(label), "lcf %u %s", entries,
-                          hash == lsq::HashScheme::kLowerAddressBits
-                              ? "LAB"
-                              : "3-PAX");
-            report(label, r, base_ipc);
+            add("lcf " + std::to_string(entries) +
+                    (hash == lsq::HashScheme::kLowerAddressBits
+                         ? " LAB"
+                         : " 3-PAX"),
+                cfg);
         }
     }
 
-    std::printf("\n== forwarding cache geometry ==\n");
+    sections.emplace_back("forwarding cache geometry", points.size());
     for (const auto &[entries, assoc] :
          {std::pair<unsigned, unsigned>{64, 4},
           std::pair<unsigned, unsigned>{256, 4},
@@ -83,13 +101,12 @@ main(int argc, char **argv)
           std::pair<unsigned, unsigned>{1024, 8}}) {
         auto cfg = core::srlConfig();
         cfg.srl.fwd_cache = {entries, assoc};
-        const auto r = core::runOne(cfg, suite, uops);
-        char label[64];
-        std::snprintf(label, sizeof(label), "fc %ux%u", entries, assoc);
-        report(label, r, base_ipc);
+        add("fc " + std::to_string(entries) + "x" +
+                std::to_string(assoc),
+            cfg);
     }
 
-    std::printf("\n== load buffer organization ==\n");
+    sections.emplace_back("load buffer organization", points.size());
     for (const auto &[assoc, policy, victims, name] :
          {std::tuple<unsigned, lsq::OverflowPolicy, unsigned,
                      const char *>{
@@ -100,9 +117,29 @@ main(int argc, char **argv)
         cfg.load_buffer.assoc = assoc;
         cfg.load_buffer.overflow = policy;
         cfg.load_buffer.victim_entries = victims;
-        const auto r = core::runOne(cfg, suite, uops);
-        report(name, r, base_ipc);
+        add(name, cfg);
     }
 
+    runner::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto rep = runner::runSweep(points, opts);
+
+    const stats::RunRecord &base = rep.runs[0];
+    if (base.failed()) {
+        std::fprintf(stderr, "baseline failed: %s\n",
+                     base.error.c_str());
+        return 1;
+    }
+    const double base_ipc = base.metric("ipc");
+    std::printf("baseline (48-entry STQ) ipc %.3f\n", base_ipc);
+
+    for (std::size_t si = 0; si < sections.size(); ++si) {
+        const std::size_t end = si + 1 < sections.size()
+                                    ? sections[si + 1].second
+                                    : rep.runs.size();
+        std::printf("\n== %s ==\n", sections[si].first);
+        for (std::size_t i = sections[si].second; i < end; ++i)
+            report(rep.runs[i], base_ipc);
+    }
     return 0;
 }

@@ -108,6 +108,20 @@ class Random
     std::uint64_t state_;
 };
 
+/**
+ * SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+ * Used to derive independent per-run seeds from (base seed, run index)
+ * so parallel sweep runs draw from uncorrelated PCG streams.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 } // namespace srl
 
 #endif // SRLSIM_COMMON_RANDOM_HH

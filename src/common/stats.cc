@@ -1,7 +1,10 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 
 #include "logging.hh"
 
@@ -154,6 +157,463 @@ StatGroup::format() const
         out += buf;
     }
     return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "null";
+    if (std::isinf(v))
+        return v > 0 ? "1e999" : "-1e999";
+    char buf[40];
+    for (const int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+RunRecord::set(const std::string &key, double v)
+{
+    for (auto &[k, val] : metrics) {
+        if (k == key) {
+            val = v;
+            return;
+        }
+    }
+    metrics.emplace_back(key, v);
+}
+
+bool
+RunRecord::hasMetric(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+double
+RunRecord::metric(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics) {
+        if (k == key)
+            return v;
+    }
+    throw std::out_of_range("RunRecord '" + name + "' has no metric '" +
+                            key + "'");
+}
+
+// ------------------------------------------------------------- JSON out
+
+namespace
+{
+
+/** JSON string escape (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendStringMap(std::string &out,
+                const std::map<std::string, std::string> &m,
+                const char *indent, const char *close_indent)
+{
+    out += "{";
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += indent;
+        out += "\"" + jsonEscape(k) + "\": \"" + jsonEscape(v) + "\"";
+    }
+    if (!first) {
+        out += "\n";
+        out += close_indent;
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+StatsReport::toJson() const
+{
+    std::string out = "{\n  \"schema\": \"srlsim-stats-v1\",\n";
+    out += "  \"meta\": ";
+    appendStringMap(out, meta, "    ", "  ");
+    out += ",\n  \"runs\": [";
+    bool first_run = true;
+    for (const auto &r : runs) {
+        out += first_run ? "\n" : ",\n";
+        first_run = false;
+        out += "    {\n      \"name\": \"" + jsonEscape(r.name) + "\",\n";
+        if (!r.error.empty())
+            out += "      \"error\": \"" + jsonEscape(r.error) + "\",\n";
+        out += "      \"meta\": ";
+        appendStringMap(out, r.meta, "        ", "      ");
+        out += ",\n      \"metrics\": {";
+        bool first_m = true;
+        for (const auto &[k, v] : r.metrics) {
+            out += first_m ? "\n" : ",\n";
+            first_m = false;
+            out += "        \"" + jsonEscape(k) + "\": " + formatDouble(v);
+        }
+        if (!first_m)
+            out += "\n      ";
+        out += "}\n    }";
+    }
+    if (!first_run)
+        out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+// -------------------------------------------------------------- CSV out
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+StatsReport::toCsv() const
+{
+    // Column union: sorted meta keys, then metric names in
+    // first-appearance order across runs.
+    std::set<std::string> meta_keys;
+    std::vector<std::string> metric_keys;
+    std::set<std::string> metric_seen;
+    for (const auto &r : runs) {
+        for (const auto &[k, v] : r.meta)
+            meta_keys.insert(k);
+        for (const auto &[k, v] : r.metrics) {
+            if (metric_seen.insert(k).second)
+                metric_keys.push_back(k);
+        }
+    }
+
+    std::string out = "name,error";
+    for (const auto &k : meta_keys)
+        out += "," + csvEscape(k);
+    for (const auto &k : metric_keys)
+        out += "," + csvEscape(k);
+    out += "\n";
+
+    for (const auto &r : runs) {
+        out += csvEscape(r.name) + "," + csvEscape(r.error);
+        for (const auto &k : meta_keys) {
+            const auto it = r.meta.find(k);
+            out += ",";
+            if (it != r.meta.end())
+                out += csvEscape(it->second);
+        }
+        for (const auto &k : metric_keys) {
+            out += ",";
+            if (r.hasMetric(k))
+                out += formatDouble(r.metric(k));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+// ------------------------------------------------------------- JSON in
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON reader for the report schema.
+ * Supports objects, arrays, strings, numbers, true/false/null; object
+ * member order is surfaced to the caller so metric order survives the
+ * round-trip.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw ParseError("stats JSON: " + what + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                // Report strings only ever escape control chars.
+                out += static_cast<char>(cp & 0xff);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    /** Parse a {"k": "v", ...} object of string values. */
+    std::map<std::string, std::string>
+    parseStringMap()
+    {
+        std::map<std::string, std::string> out;
+        expect('{');
+        if (consume('}'))
+            return out;
+        do {
+            const std::string k = parseString();
+            expect(':');
+            out[k] = parseString();
+        } while (consume(','));
+        expect('}');
+        return out;
+    }
+
+    /** Parse a {"k": number, ...} object preserving member order. */
+    std::vector<std::pair<std::string, double>>
+    parseMetricMap()
+    {
+        std::vector<std::pair<std::string, double>> out;
+        expect('{');
+        if (consume('}'))
+            return out;
+        do {
+            const std::string k = parseString();
+            expect(':');
+            skipWs();
+            double v;
+            if (text_.compare(pos_, 4, "null") == 0) {
+                pos_ += 4;
+                v = std::nan("");
+            } else {
+                v = parseNumber();
+            }
+            out.emplace_back(k, v);
+        } while (consume(','));
+        expect('}');
+        return out;
+    }
+
+    RunRecord
+    parseRun()
+    {
+        RunRecord r;
+        expect('{');
+        if (consume('}'))
+            return r;
+        do {
+            const std::string k = parseString();
+            expect(':');
+            if (k == "name") {
+                r.name = parseString();
+            } else if (k == "error") {
+                r.error = parseString();
+            } else if (k == "meta") {
+                r.meta = parseStringMap();
+            } else if (k == "metrics") {
+                r.metrics = parseMetricMap();
+            } else {
+                fail("unknown run key '" + k + "'");
+            }
+        } while (consume(','));
+        expect('}');
+        return r;
+    }
+
+    StatsReport
+    parseReport()
+    {
+        StatsReport rep;
+        expect('{');
+        bool saw_schema = false;
+        if (!consume('}')) {
+            do {
+                const std::string k = parseString();
+                expect(':');
+                if (k == "schema") {
+                    const std::string s = parseString();
+                    if (s != "srlsim-stats-v1")
+                        fail("unsupported schema '" + s + "'");
+                    saw_schema = true;
+                } else if (k == "meta") {
+                    rep.meta = parseStringMap();
+                } else if (k == "runs") {
+                    expect('[');
+                    if (!consume(']')) {
+                        do {
+                            rep.runs.push_back(parseRun());
+                        } while (consume(','));
+                        expect(']');
+                    }
+                } else {
+                    fail("unknown report key '" + k + "'");
+                }
+            } while (consume(','));
+            expect('}');
+        }
+        if (!saw_schema)
+            fail("missing schema marker");
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return rep;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+StatsReport
+StatsReport::fromJson(const std::string &text)
+{
+    JsonReader reader(text);
+    return reader.parseReport();
 }
 
 } // namespace stats

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace srl
@@ -186,6 +188,72 @@ class StatGroup
 
     std::string name_;
     std::vector<Entry> entries_;
+};
+
+/**
+ * Deterministically render @p v so that parsing the text recovers the
+ * exact double (shortest of %.15g/%.16g/%.17g that round-trips). Used
+ * by every machine-readable export so identical results serialize to
+ * identical bytes regardless of thread count or platform locale.
+ */
+std::string formatDouble(double v);
+
+/**
+ * One simulation run inside a StatsReport: a row name, string metadata
+ * (config/suite/seed), and an *ordered* list of named metric values.
+ * Metric order is insertion order and is preserved by the JSON
+ * round-trip, so reports built from the same sweep are byte-identical.
+ */
+struct RunRecord
+{
+    std::string name;
+    std::map<std::string, std::string> meta;
+    std::vector<std::pair<std::string, double>> metrics;
+    /** Non-empty iff the run failed; metrics are then best-effort. */
+    std::string error;
+
+    /** Append (or overwrite) one named metric. */
+    void set(const std::string &key, double v);
+
+    bool hasMetric(const std::string &key) const;
+
+    /** Value of @p key; throws std::out_of_range if absent. */
+    double metric(const std::string &key) const;
+
+    bool failed() const { return !error.empty(); }
+};
+
+/** Raised by StatsReport::fromJson on malformed input. */
+class ParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A machine-readable sweep report: report-level metadata plus one
+ * RunRecord per sweep point, in sweep order. Serializes to a stable
+ * JSON schema ("srlsim-stats-v1") and to CSV; fromJson inverts toJson
+ * exactly (byte-identical re-serialization), which is what the CI
+ * determinism check diffs.
+ */
+struct StatsReport
+{
+    std::map<std::string, std::string> meta;
+    std::vector<RunRecord> runs;
+
+    /** Stable, deterministic JSON (2-space indent, trailing newline). */
+    std::string toJson() const;
+
+    /**
+     * Wide-format CSV: one row per run; columns are `name`, `error`,
+     * the sorted union of run-meta keys, then the union of metric
+     * names in first-appearance order. Missing cells are empty.
+     */
+    std::string toCsv() const;
+
+    /** Parse a report serialized by toJson. @throws ParseError */
+    static StatsReport fromJson(const std::string &text);
 };
 
 } // namespace stats

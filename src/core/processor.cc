@@ -1642,8 +1642,9 @@ Processor::formatStats() const
     stats::StatGroup g("processor." + config_.name);
 
     // Pipeline-level values (doubles so StatGroup can reference them).
-    static thread_local std::vector<double> vals;
-    vals.clear();
+    // Reserved up front: StatGroup keeps raw pointers into the vector,
+    // so it must never reallocate while the groups are alive.
+    std::vector<double> vals;
     vals.reserve(64);
     auto add = [&](const char *name, double v, const char *desc) {
         vals.push_back(v);

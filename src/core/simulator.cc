@@ -1,6 +1,7 @@
 #include "core/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 #include "workload/prewarm.hh"
 
@@ -49,10 +50,14 @@ figure7Thresholds()
 
 RunResult
 runOne(const ProcessorConfig &config,
-       const workload::SuiteProfile &suite, std::uint64_t num_uops)
+       const workload::SuiteProfile &suite, std::uint64_t num_uops,
+       std::uint64_t seed_override)
 {
-    workload::Generator gen(suite, num_uops);
-    Processor cpu(config, gen);
+    workload::Generator gen(suite, num_uops, seed_override);
+    ProcessorConfig cfg = config;
+    if (seed_override)
+        cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
+    Processor cpu(cfg, gen);
 
     // Warmed-cache methodology: pre-fill the suite's cache-resident
     // regions so compulsory misses do not swamp the phase behavior the

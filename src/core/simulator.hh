@@ -84,10 +84,17 @@ class ReferenceExecutor
 /**
  * Run one (config, suite) pair for @p num_uops micro-ops and collect
  * metrics (including the Table 3 columns when the config is SRL).
+ *
+ * A non-zero @p seed_override replaces the suite's built-in workload
+ * seed (and re-keys the snoop stream) so a sweep driver can give every
+ * run an independent deterministic RNG stream. Zero keeps the suite's
+ * canonical seed. runOne has no shared mutable state: concurrent calls
+ * from different threads are safe.
  */
 RunResult runOne(const ProcessorConfig &config,
                  const workload::SuiteProfile &suite,
-                 std::uint64_t num_uops);
+                 std::uint64_t num_uops,
+                 std::uint64_t seed_override = 0);
 
 /** Occupancy thresholds reported in Figure 7. */
 const std::vector<std::uint64_t> &figure7Thresholds();

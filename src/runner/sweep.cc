@@ -1,0 +1,140 @@
+#include "runner/sweep.hh"
+
+#include <exception>
+#include <thread>
+
+#include "common/random.hh"
+#include "runner/thread_pool.hh"
+
+namespace srl
+{
+namespace runner
+{
+
+std::uint64_t
+deriveRunSeed(std::uint64_t base_seed, std::size_t index)
+{
+    if (base_seed == 0)
+        return 0;
+    const std::uint64_t mixed =
+        splitmix64(base_seed ^ splitmix64(index + 1));
+    return mixed ? mixed : 1;
+}
+
+stats::StatsReport
+runTasks(const std::vector<Task> &tasks, const SweepOptions &opts)
+{
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > tasks.size() && !tasks.empty())
+        jobs = static_cast<unsigned>(tasks.size());
+
+    std::vector<stats::RunRecord> records(tasks.size());
+    const auto runOneTask = [&](std::size_t i) {
+        const std::uint64_t run_seed = deriveRunSeed(opts.seed, i);
+        try {
+            records[i] = tasks[i].fn(run_seed);
+        } catch (const std::exception &e) {
+            records[i].error = e.what();
+        } catch (...) {
+            records[i].error = "unknown exception";
+        }
+        records[i].name = tasks[i].name;
+    };
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            runOneTask(i);
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            pool.submit([&runOneTask, i] { runOneTask(i); });
+        pool.wait();
+    }
+
+    stats::StatsReport rep;
+    rep.meta["seed"] = std::to_string(opts.seed);
+    rep.meta["points"] = std::to_string(tasks.size());
+    rep.runs = std::move(records);
+    return rep;
+}
+
+stats::RunRecord
+recordFromResult(const core::RunResult &r, std::uint64_t run_seed,
+                 bool occupancy_series)
+{
+    stats::RunRecord rec;
+    rec.meta["config"] = r.config_name;
+    rec.meta["suite"] = r.workload_name;
+    rec.meta["run_seed"] = std::to_string(run_seed);
+
+    rec.set("uops", static_cast<double>(r.uops));
+    rec.set("cycles", static_cast<double>(r.cycles));
+    rec.set("ipc", r.ipc);
+
+    const core::ProcessorStats &s = r.stats;
+    rec.set("committed_loads", static_cast<double>(s.committed_loads));
+    rec.set("committed_stores", static_cast<double>(s.committed_stores));
+    rec.set("mem_misses", static_cast<double>(s.mem_misses));
+    rec.set("branch_mispredicts",
+            static_cast<double>(s.branch_mispredicts));
+    rec.set("mem_violations", static_cast<double>(s.mem_violations));
+    rec.set("snoop_violations", static_cast<double>(s.snoop_violations));
+    rec.set("overflow_violations",
+            static_cast<double>(s.overflow_violations));
+    rec.set("slice_uops", static_cast<double>(s.slice_uops));
+
+    // SRL-specific series (all zero for non-SRL models).
+    rec.set("pct_stores_redone", r.pct_stores_redone);
+    rec.set("pct_miss_dep_stores", r.pct_miss_dep_stores);
+    rec.set("pct_miss_dep_uops", r.pct_miss_dep_uops);
+    rec.set("srl_stalls_per_10k", r.srl_stalls_per_10k);
+    rec.set("pct_time_srl_occupied", r.pct_time_srl_occupied);
+    if (occupancy_series) {
+        for (const auto &[threshold, pct] : r.srl_occupancy_above)
+            rec.set("srl_occupancy_above_" + std::to_string(threshold),
+                    pct);
+    }
+    return rec;
+}
+
+stats::StatsReport
+runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
+{
+    std::vector<Task> tasks;
+    tasks.reserve(points.size());
+    for (const auto &p : points) {
+        tasks.push_back(
+            {p.name, [&p, &opts](std::uint64_t run_seed) {
+                 const core::RunResult r =
+                     core::runOne(p.config, p.suite, p.uops, run_seed);
+                 return recordFromResult(r, run_seed,
+                                         opts.occupancy_series);
+             }});
+    }
+    return runTasks(tasks, opts);
+}
+
+std::vector<SweepPoint>
+matrixPoints(
+    const std::vector<std::pair<std::string, core::ProcessorConfig>>
+        &configs,
+    const std::vector<workload::SuiteProfile> &suites,
+    std::uint64_t uops)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(configs.size() * suites.size());
+    for (const auto &[label, cfg] : configs) {
+        for (const auto &suite : suites)
+            points.push_back({label + "/" + suite.name, cfg, suite,
+                              uops});
+    }
+    return points;
+}
+
+} // namespace runner
+} // namespace srl

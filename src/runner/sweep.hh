@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel design-space sweep driver. A sweep is a list of named
+ * (config, suite, uops) points; the driver runs each point on a worker
+ * thread with a deterministic per-run RNG seed and collects results
+ * into a stats::StatsReport in sweep order.
+ *
+ * Determinism contract: for a fixed point list and base seed, the
+ * report is byte-identical (toJson/toCsv) whatever the thread count —
+ * each run's seed depends only on (base seed, point index), each
+ * simulation is self-contained (no shared mutable state), and results
+ * land in a pre-sized slot indexed by point order, never by completion
+ * order. The CI determinism check diffs a --jobs 1 report against a
+ * --jobs 4 report of the same sweep.
+ */
+
+#ifndef SRLSIM_RUNNER_SWEEP_HH
+#define SRLSIM_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "workload/profile.hh"
+
+namespace srl
+{
+namespace runner
+{
+
+/** One point of a design-space sweep. */
+struct SweepPoint
+{
+    std::string name; ///< report row name (unique within a sweep)
+    core::ProcessorConfig config;
+    workload::SuiteProfile suite;
+    std::uint64_t uops = 200000;
+};
+
+/** Sweep execution options. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means one per hardware thread. */
+    unsigned jobs = 0;
+    /**
+     * Base RNG seed. 0 keeps every suite's canonical built-in seed
+     * (the paper-reproduction default); non-zero derives an
+     * independent seed per run via deriveRunSeed().
+     */
+    std::uint64_t seed = 0;
+    /** Include the Figure-7 SRL occupancy series in SRL-run records. */
+    bool occupancy_series = true;
+};
+
+/**
+ * Per-run seed: 0 stays 0 (suite canonical seed), otherwise a
+ * SplitMix64 mix of the base seed and the run index, never 0.
+ */
+std::uint64_t deriveRunSeed(std::uint64_t base_seed, std::size_t index);
+
+/**
+ * A generic sweep task: given its derived run seed, produce a record.
+ * Thrown exceptions are caught by the driver and recorded in the
+ * run's `error` field without disturbing other tasks.
+ */
+struct Task
+{
+    std::string name;
+    std::function<stats::RunRecord(std::uint64_t run_seed)> fn;
+};
+
+/**
+ * Run arbitrary tasks on the pool. Records are returned in task order
+ * regardless of completion order; record `name` is forced to the task
+ * name. Report meta records the base seed and point count (never the
+ * job count — reports must not depend on it).
+ */
+stats::StatsReport runTasks(const std::vector<Task> &tasks,
+                            const SweepOptions &opts);
+
+/** Flatten one simulation result into a report record. */
+stats::RunRecord recordFromResult(const core::RunResult &r,
+                                  std::uint64_t run_seed,
+                                  bool occupancy_series);
+
+/** Run a list of simulation points; the main entry point. */
+stats::StatsReport runSweep(const std::vector<SweepPoint> &points,
+                            const SweepOptions &opts);
+
+/**
+ * Convenience: the cross product of labeled configs x suites, in
+ * config-major order with row names "<label>/<suite>".
+ */
+std::vector<SweepPoint> matrixPoints(
+    const std::vector<std::pair<std::string, core::ProcessorConfig>>
+        &configs,
+    const std::vector<workload::SuiteProfile> &suites,
+    std::uint64_t uops);
+
+} // namespace runner
+} // namespace srl
+
+#endif // SRLSIM_RUNNER_SWEEP_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A small fixed-size worker pool for the sweep runner. Jobs are
+ * arbitrary callables; submit() enqueues, wait() blocks until the queue
+ * drains and every in-flight job finishes. Workers never die on a job's
+ * exception — jobs are expected to catch their own (the sweep driver
+ * records failures per run), but as a last line of defense a throwing
+ * job is swallowed here so one bad run cannot poison the pool.
+ */
+
+#ifndef SRLSIM_RUNNER_THREAD_POOL_HH
+#define SRLSIM_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace srl
+{
+namespace runner
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads)
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    /** Enqueue one job. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(job));
+        }
+        work_cv_.notify_one();
+    }
+
+    /** Block until all submitted jobs have completed. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock,
+                      [this] { return queue_.empty() && active_ == 0; });
+    }
+
+    std::size_t threads() const { return workers_.size(); }
+
+  private:
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_cv_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (stopping_ && queue_.empty())
+                    return;
+                job = std::move(queue_.front());
+                queue_.pop_front();
+                ++active_;
+            }
+            try {
+                job();
+            } catch (...) {
+                // Jobs handle their own failures; never kill a worker.
+            }
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                --active_;
+                if (queue_.empty() && active_ == 0)
+                    idle_cv_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace runner
+} // namespace srl
+
+#endif // SRLSIM_RUNNER_THREAD_POOL_HH

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
 
 #include "common/circular_fifo.hh"
 #include "common/intmath.hh"
@@ -207,6 +209,139 @@ TEST(Stats, StatGroupSnapshotAndFormat)
     EXPECT_DOUBLE_EQ(rows[2].value, 2.25);
     EXPECT_NE(g.format().find("grp"), std::string::npos);
     EXPECT_NE(g.format().find("a scalar"), std::string::npos);
+}
+
+// ----------------------------------------------------- stats report/json
+
+stats::StatsReport
+sampleReport()
+{
+    stats::StatsReport rep;
+    rep.meta["seed"] = "42";
+    rep.meta["suite"] = "SFP2K";
+
+    stats::RunRecord a;
+    a.name = "baseline";
+    a.meta["config"] = "baseline-48stq";
+    a.set("ipc", 1.2060107576159581);
+    a.set("cycles", 41459);
+    a.set("tiny", 4.9e-324); // denormal min: hardest round-trip case
+    a.set("negative", -0.1);
+    rep.runs.push_back(a);
+
+    stats::RunRecord b;
+    b.name = "weird \"name\"\nwith\\escapes";
+    b.meta["note"] = "tab\there";
+    b.error = "run exploded";
+    rep.runs.push_back(b);
+    return rep;
+}
+
+TEST(StatsReport, JsonRoundTripIsExact)
+{
+    const stats::StatsReport rep = sampleReport();
+    const std::string json = rep.toJson();
+    const stats::StatsReport back = stats::StatsReport::fromJson(json);
+
+    // Byte-identical re-serialization is the determinism contract the
+    // CI diff step relies on.
+    EXPECT_EQ(back.toJson(), json);
+
+    EXPECT_EQ(back.meta.at("seed"), "42");
+    ASSERT_EQ(back.runs.size(), 2u);
+    EXPECT_EQ(back.runs[0].name, "baseline");
+    EXPECT_DOUBLE_EQ(back.runs[0].metric("ipc"), 1.2060107576159581);
+    EXPECT_EQ(back.runs[0].metric("tiny"), 4.9e-324);
+    EXPECT_EQ(back.runs[1].name, "weird \"name\"\nwith\\escapes");
+    EXPECT_EQ(back.runs[1].meta.at("note"), "tab\there");
+    EXPECT_TRUE(back.runs[1].failed());
+    EXPECT_EQ(back.runs[1].error, "run exploded");
+}
+
+TEST(StatsReport, EmptyReportRoundTrips)
+{
+    stats::StatsReport rep;
+    const auto back = stats::StatsReport::fromJson(rep.toJson());
+    EXPECT_TRUE(back.meta.empty());
+    EXPECT_TRUE(back.runs.empty());
+    EXPECT_EQ(back.toJson(), rep.toJson());
+}
+
+TEST(StatsReport, MetricOrderSurvivesRoundTrip)
+{
+    stats::StatsReport rep;
+    stats::RunRecord r;
+    r.name = "run";
+    r.set("zulu", 1);
+    r.set("alpha", 2);
+    r.set("mike", 3);
+    rep.runs.push_back(r);
+    const auto back = stats::StatsReport::fromJson(rep.toJson());
+    ASSERT_EQ(back.runs[0].metrics.size(), 3u);
+    EXPECT_EQ(back.runs[0].metrics[0].first, "zulu");
+    EXPECT_EQ(back.runs[0].metrics[1].first, "alpha");
+    EXPECT_EQ(back.runs[0].metrics[2].first, "mike");
+}
+
+TEST(StatsReport, FromJsonRejectsGarbage)
+{
+    EXPECT_THROW(stats::StatsReport::fromJson(""), stats::ParseError);
+    EXPECT_THROW(stats::StatsReport::fromJson("[]"), stats::ParseError);
+    EXPECT_THROW(stats::StatsReport::fromJson("{\"runs\": []}"),
+                 stats::ParseError); // missing schema marker
+    EXPECT_THROW(stats::StatsReport::fromJson(
+                     "{\"schema\": \"other-v9\", \"runs\": []}"),
+                 stats::ParseError);
+    const std::string good = sampleReport().toJson();
+    EXPECT_THROW(
+        stats::StatsReport::fromJson(good.substr(0, good.size() / 2)),
+        stats::ParseError);
+    EXPECT_THROW(stats::StatsReport::fromJson(good + "x"),
+                 stats::ParseError);
+}
+
+TEST(StatsReport, CsvHasUnionHeaderAndStableCells)
+{
+    stats::StatsReport rep;
+    stats::RunRecord a;
+    a.name = "a";
+    a.meta["suite"] = "WS";
+    a.set("ipc", 1.5);
+    rep.runs.push_back(a);
+    stats::RunRecord b;
+    b.name = "b,with comma";
+    b.set("ipc", 2.0);
+    b.set("extra", 7);
+    rep.runs.push_back(b);
+
+    const std::string csv = rep.toCsv();
+    EXPECT_EQ(csv, "name,error,suite,ipc,extra\n"
+                   "a,,WS,1.5,\n"
+                   "\"b,with comma\",,,2,7\n");
+}
+
+TEST(StatsReport, RunRecordMetricAccessors)
+{
+    stats::RunRecord r;
+    r.name = "r";
+    r.set("x", 1.0);
+    r.set("x", 2.0); // overwrite, not append
+    ASSERT_EQ(r.metrics.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.metric("x"), 2.0);
+    EXPECT_TRUE(r.hasMetric("x"));
+    EXPECT_FALSE(r.hasMetric("y"));
+    EXPECT_THROW(r.metric("y"), std::out_of_range);
+}
+
+TEST(StatsReport, FormatDoubleRoundTripsExactly)
+{
+    for (const double v :
+         {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1.2060107576159581,
+          4.9e-324, 1.7976931348623157e308, -2.5e-10}) {
+        const std::string s = stats::formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+    EXPECT_EQ(stats::formatDouble(0.5), "0.5"); // shortest form wins
 }
 
 // ---------------------------------------------------------------- fifo

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "core/processor.hh"
 #include "core/simulator.hh"
@@ -106,34 +107,36 @@ struct RunOutcome
     std::map<SeqNum, std::uint64_t> load_values;
 };
 
+/** Owns the stream and processor a directed run leaves behind. */
+struct LiveRun
+{
+    std::unique_ptr<workload::SequenceStream> stream;
+    std::unique_ptr<core::Processor> cpu; // destroyed before stream
+};
+
 /**
  * Run a directed program; returns committed load values and stats.
- * The final architectural memory can be inspected via @p final_mem
- * checks inside the returned outcome's callback captures — callers
- * needing memory access pass @p out_cpu and delete it themselves.
+ * Callers needing to inspect the processor afterwards (final memory,
+ * formatted stats) pass @p live, which keeps the stream and the
+ * processor alive until it goes out of scope.
  */
 RunOutcome
 runProgram(std::vector<Uop> uops, const core::ProcessorConfig &config,
-           core::Processor **out_cpu = nullptr)
+           LiveRun *live = nullptr)
 {
-    // The stream must outlive the processor when the caller keeps it.
-    auto *stream =
-        new workload::SequenceStream(std::move(uops));
-    auto *cpu = new core::Processor(config, *stream);
+    LiveRun local;
+    LiveRun &run = live ? *live : local;
+    run.stream =
+        std::make_unique<workload::SequenceStream>(std::move(uops));
+    run.cpu = std::make_unique<core::Processor>(config, *run.stream);
     RunOutcome out;
-    cpu->setLoadCommitHook(
+    run.cpu->setLoadCommitHook(
         [&](SeqNum seq, Addr, unsigned, std::uint64_t v) {
             out.load_values[seq] = v;
         });
-    out.stats = cpu->run(10'000'000);
-    EXPECT_TRUE(cpu->done());
-    if (out_cpu) {
-        cpu->setLoadCommitHook(nullptr);
-        *out_cpu = cpu; // leaks the stream deliberately (test scope)
-    } else {
-        delete cpu;
-        delete stream;
-    }
+    out.stats = run.cpu->run(10'000'000);
+    EXPECT_TRUE(run.cpu->done());
+    run.cpu->setLoadCommitHook(nullptr);
     return out;
 }
 
@@ -158,11 +161,10 @@ TEST(Fig4, CaseI_WriteAfterWriteHazard)
     for (const auto &cfg :
          {core::srlConfig(), core::baselineConfig(),
           core::hierarchicalConfig()}) {
-        core::Processor *cpu = nullptr;
-        auto out = runProgram(p.take(), cfg, &cpu);
+        LiveRun run;
+        auto out = runProgram(p.take(), cfg, &run);
         EXPECT_EQ(out.load_values.at(check), 0x1111u) << cfg.name;
-        EXPECT_EQ(cpu->mem().read(kA, 8), 0x1111u) << cfg.name;
-        delete cpu;
+        EXPECT_EQ(run.cpu->mem().read(kA, 8), 0x1111u) << cfg.name;
         // Rebuild the program (take() moved it).
         Prog q;
         q.load(kMissAddr, 12);
@@ -228,14 +230,13 @@ TEST(Fig4, CaseV_MispredictedDependenceDetected)
     p.store(kA, 0x5555, 12); // miss-dependent store to A
     const SeqNum lda = p.load(kA, 13); // no trained dependence
 
-    core::Processor *cpu = nullptr;
-    auto out = runProgram(p.take(), core::srlConfig(), &cpu);
+    LiveRun run;
+    auto out = runProgram(p.take(), core::srlConfig(), &run);
     // Functional outcome: the committed load saw the store's data.
     EXPECT_EQ(out.load_values.at(lda), 0x5555u);
-    EXPECT_EQ(cpu->mem().read(kA, 8), 0x5555u);
+    EXPECT_EQ(run.cpu->mem().read(kA, 8), 0x5555u);
     // Mechanism: a memory-dependence violation was flagged & recovered.
     EXPECT_GE(out.stats.mem_violations, 1u);
-    delete cpu;
 }
 
 // --------------------------------------------------- Figure 4 case (vi)
@@ -252,12 +253,11 @@ TEST(Fig4, CaseVI_ComplexOrderingResolved)
     const SeqNum lda = p.load(kA, 13);
     p.nop();
 
-    core::Processor *cpu = nullptr;
-    auto out = runProgram(p.take(), core::srlConfig(), &cpu);
+    LiveRun run;
+    auto out = runProgram(p.take(), core::srlConfig(), &run);
     EXPECT_EQ(out.load_values.at(lda), 0xaaaau);
-    EXPECT_EQ(cpu->mem().read(kA, 8), 0xaaaau);
-    EXPECT_EQ(cpu->mem().read(kB, 8), 0xbbbbu);
-    delete cpu;
+    EXPECT_EQ(run.cpu->mem().read(kA, 8), 0xaaaau);
+    EXPECT_EQ(run.cpu->mem().read(kB, 8), 0xbbbbu);
 }
 
 // ------------------------------------------------ store-sets training
@@ -277,14 +277,13 @@ TEST(Directed, StoreSetsTrainOnViolation)
             p.nop();
     }
 
-    core::Processor *cpu = nullptr;
-    auto out = runProgram(p.take(), core::srlConfig(), &cpu);
+    LiveRun run;
+    auto out = runProgram(p.take(), core::srlConfig(), &run);
     // All committed values correct despite the hazard pattern.
-    EXPECT_EQ(cpu->mem().read(kA, 8), 0x105u);
+    EXPECT_EQ(run.cpu->mem().read(kA, 8), 0x105u);
     // Fewer violations than iterations: the predictor learned.
     EXPECT_GE(out.stats.mem_violations, 1u);
     EXPECT_LT(out.stats.mem_violations, 6u);
-    delete cpu;
 }
 
 // ------------------------------------------------------- snooping
@@ -377,16 +376,15 @@ TEST(Directed, FormatStatsContainsKeyCounters)
     p.load(kMissAddr, 12);
     p.store(kA, 0x1, 0);
     p.load(kA, 13);
-    core::Processor *cpu = nullptr;
-    runProgram(p.take(), core::srlConfig(), &cpu);
-    const std::string s = cpu->formatStats();
+    LiveRun run;
+    runProgram(p.take(), core::srlConfig(), &run);
+    const std::string s = run.cpu->formatStats();
     EXPECT_NE(s.find("committed_uops"), std::string::npos);
     EXPECT_NE(s.find("srl.pushes"), std::string::npos);
     EXPECT_NE(s.find("lcf.checks"), std::string::npos);
     EXPECT_NE(s.find("fc.updates"), std::string::npos);
     EXPECT_NE(s.find("ldbuf.inserts"), std::string::npos);
     EXPECT_NE(s.find("l1d.hits"), std::string::npos);
-    delete cpu;
 }
 
 TEST(Directed, SnoopRateConfigInjectsTraffic)

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "core/processor.hh"
 #include "core/simulator.hh"
@@ -119,22 +120,25 @@ class HazardMatrix : public ::testing::TestWithParam<Variant>
 {
   protected:
     std::map<SeqNum, std::uint64_t> vals_;
+    std::unique_ptr<workload::SequenceStream> stream_;
+    std::unique_ptr<core::Processor> cpu_; // destroyed before stream_
 
     core::Processor *
     runSeq(std::vector<Uop> prog, std::uint64_t init_a = 0)
     {
-        auto *stream =
-            new workload::SequenceStream(std::move(prog));
-        auto *cpu = new core::Processor(configOf(GetParam()), *stream);
+        stream_ =
+            std::make_unique<workload::SequenceStream>(std::move(prog));
+        cpu_ = std::make_unique<core::Processor>(configOf(GetParam()),
+                                                 *stream_);
         if (init_a)
-            cpu->mem().write(kA, 8, init_a);
-        cpu->setLoadCommitHook(
+            cpu_->mem().write(kA, 8, init_a);
+        cpu_->setLoadCommitHook(
             [this](SeqNum seq, Addr, unsigned, std::uint64_t v) {
                 vals_[seq] = v;
             });
-        cpu->run(10'000'000);
-        EXPECT_TRUE(cpu->done()) << nameOf(GetParam());
-        return cpu;
+        cpu_->run(10'000'000);
+        EXPECT_TRUE(cpu_->done()) << nameOf(GetParam());
+        return cpu_.get();
     }
 };
 
@@ -144,7 +148,6 @@ TEST_P(HazardMatrix, WriteAfterWrite)
                         mkStore(2, kA, 0x1), mkLoad(3, kA, 13)});
     EXPECT_EQ(vals_.at(3), 0x1u) << nameOf(GetParam());
     EXPECT_EQ(cpu->mem().read(kA, 8), 0x1u);
-    delete cpu;
 }
 
 TEST_P(HazardMatrix, WriteAfterRead)
@@ -154,15 +157,13 @@ TEST_P(HazardMatrix, WriteAfterRead)
                        /*init_a=*/0x9);
     EXPECT_EQ(vals_.at(1), 0x9u) << nameOf(GetParam());
     EXPECT_EQ(cpu->mem().read(kA, 8), 0x2u);
-    delete cpu;
 }
 
 TEST_P(HazardMatrix, ReadAfterWriteIndependent)
 {
-    auto *cpu = runSeq({mkLoad(0, kMiss, 12), mkStore(1, kB, 0xb),
-                        mkStore(2, kA, 0xa, 12), mkLoad(3, kB, 13)});
+    runSeq({mkLoad(0, kMiss, 12), mkStore(1, kB, 0xb),
+            mkStore(2, kA, 0xa, 12), mkLoad(3, kB, 13)});
     EXPECT_EQ(vals_.at(3), 0xbu) << nameOf(GetParam());
-    delete cpu;
 }
 
 TEST_P(HazardMatrix, MispredictedDependence)
@@ -171,7 +172,6 @@ TEST_P(HazardMatrix, MispredictedDependence)
                         mkLoad(2, kA, 13)});
     EXPECT_EQ(vals_.at(2), 0x5u) << nameOf(GetParam());
     EXPECT_EQ(cpu->mem().read(kA, 8), 0x5u);
-    delete cpu;
 }
 
 TEST_P(HazardMatrix, ComplexCaseVi)
@@ -181,7 +181,6 @@ TEST_P(HazardMatrix, ComplexCaseVi)
     EXPECT_EQ(vals_.at(3), 0xaau) << nameOf(GetParam());
     EXPECT_EQ(cpu->mem().read(kA, 8), 0xaau);
     EXPECT_EQ(cpu->mem().read(kB, 8), 0xbbu);
-    delete cpu;
 }
 
 TEST_P(HazardMatrix, BackToBackMissesWithHazards)
@@ -200,7 +199,6 @@ TEST_P(HazardMatrix, BackToBackMissesWithHazards)
     EXPECT_EQ(vals_.at(5), 0x22u) << nameOf(GetParam());
     EXPECT_EQ(vals_.at(6), 0x33u) << nameOf(GetParam());
     EXPECT_EQ(cpu->mem().read(kA, 8), 0x22u);
-    delete cpu;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: the thread pool itself,
+ * determinism of reports across thread counts, per-run seed
+ * derivation/isolation, and failure containment (one throwing run
+ * must not poison the pool or other runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
+
+namespace
+{
+
+using namespace srl;
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    runner::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    runner::ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, JobsRunConcurrently)
+{
+    // Four 100 ms sleeps on four workers must overlap: even on a
+    // single hardware thread, sleeping jobs yield, so anything well
+    // under the 400 ms serial time proves concurrent execution.
+    runner::ThreadPool pool(4);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        });
+    }
+    pool.wait();
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    EXPECT_LT(elapsed, 0.35);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotKillWorkers)
+{
+    runner::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&count, i] {
+            if (i % 3 == 0)
+                throw std::runtime_error("boom");
+            ++count;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 13); // 20 minus the 7 throwers
+
+    // The pool is still usable afterwards.
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 14);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    runner::ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+// ----------------------------------------------------------- seed derive
+
+TEST(SweepSeed, ZeroBaseStaysZero)
+{
+    EXPECT_EQ(runner::deriveRunSeed(0, 0), 0u);
+    EXPECT_EQ(runner::deriveRunSeed(0, 17), 0u);
+}
+
+TEST(SweepSeed, NonZeroBaseGivesDistinctNonZeroSeeds)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        const auto s = runner::deriveRunSeed(42, i);
+        EXPECT_NE(s, 0u);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+
+    // Different bases give different streams.
+    EXPECT_NE(runner::deriveRunSeed(42, 0), runner::deriveRunSeed(43, 0));
+}
+
+// ------------------------------------------------------------- runTasks
+
+TEST(RunTasks, RecordsLandInTaskOrder)
+{
+    // Tasks finishing in reverse order must still report in order.
+    std::vector<runner::Task> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back({"t" + std::to_string(i),
+                         [i](std::uint64_t) {
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(
+                                     (8 - i) * 5));
+                             stats::RunRecord r;
+                             r.set("index", i);
+                             return r;
+                         }});
+    }
+    runner::SweepOptions opts;
+    opts.jobs = 4;
+    const auto rep = runner::runTasks(tasks, opts);
+    ASSERT_EQ(rep.runs.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(rep.runs[i].name, "t" + std::to_string(i));
+        EXPECT_DOUBLE_EQ(rep.runs[i].metric("index"), i);
+    }
+}
+
+TEST(RunTasks, ExceptionInOneRunDoesNotPoisonOthers)
+{
+    std::vector<runner::Task> tasks;
+    for (int i = 0; i < 6; ++i) {
+        tasks.push_back({"t" + std::to_string(i),
+                         [i](std::uint64_t) -> stats::RunRecord {
+                             if (i == 2)
+                                 throw std::runtime_error("run 2 died");
+                             if (i == 4)
+                                 throw 99; // non-std exception
+                             stats::RunRecord r;
+                             r.set("ok", 1);
+                             return r;
+                         }});
+    }
+    runner::SweepOptions opts;
+    opts.jobs = 3;
+    const auto rep = runner::runTasks(tasks, opts);
+    ASSERT_EQ(rep.runs.size(), 6u);
+    EXPECT_TRUE(rep.runs[2].failed());
+    EXPECT_EQ(rep.runs[2].error, "run 2 died");
+    EXPECT_EQ(rep.runs[2].name, "t2"); // name survives the failure
+    EXPECT_TRUE(rep.runs[4].failed());
+    EXPECT_EQ(rep.runs[4].error, "unknown exception");
+    for (const int i : {0, 1, 3, 5}) {
+        EXPECT_FALSE(rep.runs[i].failed());
+        EXPECT_DOUBLE_EQ(rep.runs[i].metric("ok"), 1.0);
+    }
+}
+
+TEST(RunTasks, TasksSeeDerivedSeeds)
+{
+    std::vector<runner::Task> tasks;
+    for (int i = 0; i < 4; ++i) {
+        tasks.push_back({"t", [](std::uint64_t seed) {
+                             stats::RunRecord r;
+                             r.set("seed",
+                                   static_cast<double>(seed & 0xffffff));
+                             return r;
+                         }});
+    }
+    runner::SweepOptions opts;
+    opts.jobs = 2;
+    opts.seed = 7;
+    const auto rep = runner::runTasks(tasks, opts);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(
+            rep.runs[i].metric("seed"),
+            static_cast<double>(runner::deriveRunSeed(7, i) & 0xffffff));
+    }
+}
+
+// ---------------------------------------------------- simulation sweeps
+
+std::vector<runner::SweepPoint>
+smallSweep(std::uint64_t uops = 12000)
+{
+    const auto suite = workload::suiteProfile("PROD");
+    std::vector<runner::SweepPoint> points;
+    points.push_back({"baseline", core::baselineConfig(), suite, uops});
+    points.push_back({"srl", core::srlConfig(), suite, uops});
+    {
+        auto cfg = core::srlConfig();
+        cfg.srl.srl.capacity = 256;
+        points.push_back({"srl-256", cfg, suite, uops});
+    }
+    points.push_back({"hier", core::hierarchicalConfig(), suite, uops});
+    return points;
+}
+
+TEST(RunSweep, ByteIdenticalAcrossThreadCounts)
+{
+    const auto points = smallSweep();
+    runner::SweepOptions one;
+    one.jobs = 1;
+    one.seed = 42;
+    runner::SweepOptions four;
+    four.jobs = 4;
+    four.seed = 42;
+
+    const std::string j1 = runner::runSweep(points, one).toJson();
+    const std::string j4 = runner::runSweep(points, four).toJson();
+    EXPECT_EQ(j1, j4);
+
+    const std::string c1 = runner::runSweep(points, one).toCsv();
+    const std::string c4 = runner::runSweep(points, four).toCsv();
+    EXPECT_EQ(c1, c4);
+}
+
+TEST(RunSweep, BaseSeedPerturbsRunsIndependently)
+{
+    // Two copies of the same point: with a non-zero base seed they get
+    // different derived seeds and must diverge; with base seed 0 both
+    // use the suite's canonical seed and must agree.
+    const auto suite = workload::suiteProfile("PROD");
+    std::vector<runner::SweepPoint> twin = {
+        {"a", core::srlConfig(), suite, 12000},
+        {"b", core::srlConfig(), suite, 12000},
+    };
+
+    runner::SweepOptions seeded;
+    seeded.jobs = 2;
+    seeded.seed = 42;
+    const auto rep = runner::runSweep(twin, seeded);
+    EXPECT_NE(rep.runs[0].metric("cycles"),
+              rep.runs[1].metric("cycles"))
+        << "distinct derived seeds should give distinct dynamics";
+
+    runner::SweepOptions canonical;
+    canonical.jobs = 2;
+    const auto rep0 = runner::runSweep(twin, canonical);
+    EXPECT_EQ(rep0.runs[0].metric("cycles"),
+              rep0.runs[1].metric("cycles"));
+
+    // And the same base seed reproduces the exact same report.
+    const auto rep_again = runner::runSweep(twin, seeded);
+    EXPECT_EQ(rep.toJson(), rep_again.toJson());
+}
+
+TEST(RunSweep, CanonicalSeedMatchesDirectRunOne)
+{
+    // With base seed 0 the runner must reproduce exactly what a direct
+    // single-threaded runOne() call produces.
+    const auto suite = workload::suiteProfile("PROD");
+    const auto direct =
+        core::runOne(core::srlConfig(), suite, 12000);
+
+    std::vector<runner::SweepPoint> points = {
+        {"srl", core::srlConfig(), suite, 12000}};
+    runner::SweepOptions opts;
+    opts.jobs = 2;
+    const auto rep = runner::runSweep(points, opts);
+    EXPECT_DOUBLE_EQ(rep.runs[0].metric("ipc"), direct.ipc);
+    EXPECT_DOUBLE_EQ(rep.runs[0].metric("cycles"),
+                     static_cast<double>(direct.cycles));
+}
+
+TEST(RunSweep, ReportCarriesMetaAndOccupancySeries)
+{
+    const auto suite = workload::suiteProfile("SFP2K");
+    std::vector<runner::SweepPoint> points = {
+        {"srl", core::srlConfig(), suite, 12000}};
+    runner::SweepOptions opts;
+    opts.jobs = 1;
+    opts.seed = 5;
+    const auto rep = runner::runSweep(points, opts);
+    EXPECT_EQ(rep.meta.at("seed"), "5");
+    EXPECT_EQ(rep.meta.at("points"), "1");
+    const auto &r = rep.runs[0];
+    EXPECT_EQ(r.meta.at("config"), "srl");
+    EXPECT_EQ(r.meta.at("suite"), "SFP2K");
+    EXPECT_EQ(r.meta.at("run_seed"),
+              std::to_string(runner::deriveRunSeed(5, 0)));
+    EXPECT_TRUE(r.hasMetric("srl_occupancy_above_0"));
+    EXPECT_TRUE(r.hasMetric("srl_occupancy_above_1024"));
+
+    runner::SweepOptions no_series = opts;
+    no_series.occupancy_series = false;
+    const auto rep2 = runner::runSweep(points, no_series);
+    EXPECT_FALSE(rep2.runs[0].hasMetric("srl_occupancy_above_0"));
+}
+
+TEST(MatrixPoints, ConfigMajorCrossProduct)
+{
+    const std::vector<std::pair<std::string, core::ProcessorConfig>>
+        configs = {{"base", core::baselineConfig()},
+                   {"srl", core::srlConfig()}};
+    const std::vector<workload::SuiteProfile> suites = {
+        workload::suiteProfile("PROD"), workload::suiteProfile("WS")};
+    const auto points = runner::matrixPoints(configs, suites, 1000);
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].name, "base/PROD");
+    EXPECT_EQ(points[1].name, "base/WS");
+    EXPECT_EQ(points[2].name, "srl/PROD");
+    EXPECT_EQ(points[3].name, "srl/WS");
+    EXPECT_EQ(points[3].uops, 1000u);
+}
+
+} // namespace
