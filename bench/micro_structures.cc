@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <unordered_map>
+
 #include "common/random.hh"
 #include "lsq/lcf.hh"
 #include "lsq/load_buffer.hh"
@@ -126,6 +129,37 @@ BM_LcfHash(benchmark::State &state)
 BENCHMARK(BM_LcfHash)
     ->Arg(static_cast<int>(lsq::HashScheme::kLowerAddressBits))
     ->Arg(static_cast<int>(lsq::HashScheme::kThreePieceXor));
+
+/**
+ * The validation hot path: ReferenceExecutor records one value per
+ * load keyed by seq, and the correctness tests then look every
+ * committed load up. Compare the tree map the executor used to ship
+ * with against the hash map it uses now (seq keys have no ordering
+ * requirement).
+ */
+template <typename Map>
+void
+BM_LoadValueMapLookup(benchmark::State &state)
+{
+    const auto loads = static_cast<std::uint64_t>(state.range(0));
+    Map values;
+    Random rng(42);
+    for (std::uint64_t seq = 0; seq < loads; ++seq)
+        values[seq * 3] = rng.next64(); // every ~3rd uop is a load
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(values.find(seq));
+        seq = (seq + 3) % (loads * 3);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadValueMapLookup<std::map<SeqNum, std::uint64_t>>)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(
+    BM_LoadValueMapLookup<std::unordered_map<SeqNum, std::uint64_t>>)
+    ->Arg(10000)
+    ->Arg(100000);
 
 } // namespace
 

@@ -20,6 +20,15 @@
  *   --csv FILE   also write the CSV rendering
  *   --suite NAME suite to sweep (default SFP2K)
  *   --uops N     uops per run (default 150000)
+ *
+ * Observability (probe capture rides along with the sweep):
+ *   --trace-out FILE    capture one point instrumented and write its
+ *                       Chrome/Perfetto trace JSON (srlsim-trace-v1)
+ *   --trace-point NAME  which point to trace (default srl-depth-1024)
+ *   --sample-every N    counter-timeline period in cycles (default 64)
+ *
+ * Traces are captured on the worker threads and are byte-identical
+ * regardless of --jobs, so the CI determinism diff covers them too.
  */
 
 #include <chrono>
@@ -41,7 +50,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--seed S] [--out FILE] "
-                 "[--csv FILE] [--suite NAME] [--uops N]\n",
+                 "[--csv FILE] [--suite NAME] [--uops N] "
+                 "[--trace-out FILE] [--trace-point NAME] "
+                 "[--sample-every N]\n",
                  argv0);
     std::exit(1);
 }
@@ -74,6 +85,9 @@ main(int argc, char **argv)
     std::string out_path = "-";
     std::string csv_path;
     std::string suite_name = "SFP2K";
+    std::string trace_path;
+    std::string trace_point = "srl-depth-1024";
+    std::uint64_t sample_every = 64;
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) {
@@ -93,6 +107,12 @@ main(int argc, char **argv)
             suite_name = v;
         } else if (const char *v = arg("--uops")) {
             uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--trace-out")) {
+            trace_path = v;
+        } else if (const char *v = arg("--trace-point")) {
+            trace_point = v;
+        } else if (const char *v = arg("--sample-every")) {
+            sample_every = std::strtoull(v, nullptr, 10);
         } else {
             usage(argv[0]);
         }
@@ -131,7 +151,23 @@ main(int argc, char **argv)
     opts.seed = seed;
 
     const auto t0 = std::chrono::steady_clock::now();
-    stats::StatsReport rep = runner::runSweep(points, opts);
+    stats::StatsReport rep;
+    if (trace_path.empty()) {
+        rep = runner::runSweep(points, opts);
+    } else {
+        obs::ObsConfig capture;
+        capture.sample_every = sample_every;
+        runner::TracedSweepResult traced = runner::runSweepTraced(
+            points, opts, {trace_point}, capture);
+        rep = std::move(traced.report);
+        if (traced.traces.empty()) {
+            std::fprintf(stderr,
+                         "--trace-point %s matches no sweep point\n",
+                         trace_point.c_str());
+            return 1;
+        }
+        writeFile(trace_path, traced.traces.front().second);
+    }
     const auto t1 = std::chrono::steady_clock::now();
 
     rep.meta["suite"] = suite.name;

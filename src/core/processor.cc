@@ -316,6 +316,10 @@ Processor::enterSlice(DynUop &d, bool from_scheduler)
     entry.src2_producer = d.src2_prod;
     entry.passes = ++d.passes;
     sdb_.push(std::move(entry));
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            now_, obs::EventKind::kSliceEnter, obs::Structure::kSdb,
+            d.uop.seq, 0, d.passes));
 }
 
 bool
@@ -360,6 +364,10 @@ Processor::tryReinsertSliceHead()
     }
 
     sdb_.pop();
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            now_, obs::EventKind::kSliceReinsert, obs::Structure::kSdb,
+            d->uop.seq, 0, d->passes));
     d->state = UopState::kInScheduler;
     d->poisoned = false;
     sched_[static_cast<unsigned>(schedClassOf(d->uop))].push_back(
@@ -397,6 +405,10 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
         DTRACE(kCheckpoint, "cycle %llu: open checkpoint %u at seq %llu",
                (unsigned long long)now_, nid,
                (unsigned long long)d.uop.seq);
+        if (probe_)
+            probe_->emit(obs::makeEvent(
+                now_, obs::EventKind::kCkptAlloc,
+                obs::Structure::kCheckpoint, d.uop.seq, 0, nid));
     }
 
     resolveSources(d);
@@ -489,6 +501,11 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
             (fp ? rf_used_fp_ : rf_used_int_)++;
         }
     }
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            now_, obs::EventKind::kDispatch, obs::Structure::kCore,
+            d.uop.seq, d.uop.pc,
+            static_cast<std::uint32_t>(d.uop.cls)));
     return true;
 }
 
@@ -609,6 +626,12 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
                             d.fwd_store_seq = e->seq;
                             d.fwd_store_id = e->id;
                             ++stats_.indexed_forwards;
+                            if (probe_)
+                                probe_->emit(obs::makeEvent(
+                                    now_,
+                                    obs::EventKind::kIndexedForward,
+                                    obs::Structure::kSrl, d.uop.seq,
+                                    addr, slot));
                             return LoadRoute::kIndexedForward;
                         }
                     }
@@ -620,6 +643,11 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
                         if (!d.counted_srl_stall) {
                             d.counted_srl_stall = true;
                             ++stats_.srl_stalled_loads;
+                            if (probe_)
+                                probe_->emit(obs::makeEvent(
+                                    now_, obs::EventKind::kSrlStall,
+                                    obs::Structure::kSrl, d.uop.seq,
+                                    addr, 0));
                         }
                         return LoadRoute::kRetry;
                     }
@@ -636,6 +664,11 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
                     if (!d.counted_srl_stall) {
                         d.counted_srl_stall = true;
                         ++stats_.srl_stalled_loads;
+                        if (probe_)
+                            probe_->emit(obs::makeEvent(
+                                now_, obs::EventKind::kSrlStall,
+                                obs::Structure::kSrl, d.uop.seq, addr,
+                                0));
                     }
                     return LoadRoute::kRetry;
                 }
@@ -656,6 +689,10 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
             rename_[d.uop.dst].poisoned = true;
         ++outstanding_mem_misses_;
         ++stats_.mem_misses;
+        if (probe_)
+            probe_->emit(obs::makeEvent(
+                now_, obs::EventKind::kMissEnter, obs::Structure::kCore,
+                d.uop.seq, addr, 0));
         switch (addr >> 28) {
           case 0x1: ++stats_.miss_hot; break;
           case 0x2: ++stats_.miss_warm; break;
@@ -877,6 +914,10 @@ Processor::completeLoad(DynUop &d)
         panic_if(outstanding_mem_misses_ == 0,
                  "mem miss count underflow");
         --outstanding_mem_misses_;
+        if (probe_)
+            probe_->emit(obs::makeEvent(
+                now_, obs::EventKind::kMissExit, obs::Structure::kCore,
+                d.uop.seq, d.uop.effAddr, 0));
         // The miss data returned; the slice will start re-inserting
         // (the forwarding-cache discard happens at the first actual
         // re-insertion of this redo burst, see tryReinsertSliceHead).
@@ -1253,6 +1294,11 @@ Processor::commit()
                (unsigned long long)c.allocated,
                (unsigned long long)c.first_seq);
 
+        if (probe_)
+            probe_->emit(obs::makeEvent(
+                now_, obs::EventKind::kCommit,
+                obs::Structure::kCheckpoint, c.first_seq, c.allocated,
+                c.id));
         spec_mem_->commitCheckpoint(c.id);
         hier_->l1().commitCheckpoint(c.id);
         if (load_buffer_)
@@ -1342,12 +1388,21 @@ Processor::rollbackToCheckpoint(CheckpointId target)
     for (CheckpointId id = 0;
          id < 2 * config_.checkpoints.num_checkpoints; ++id) {
         const cfp::Checkpoint *c = ckpts_.find(id);
-        if (c && c->first_seq >= target_first)
+        if (c && c->first_seq >= target_first) {
             squashed.push_back(id);
+            if (probe_ && id != target)
+                probe_->emit(obs::makeEvent(
+                    now_, obs::EventKind::kCkptReclaim,
+                    obs::Structure::kCheckpoint, c->first_seq, 0, id));
+        }
     }
 
     const cfp::Checkpoint restored = ckpts_.rollbackTo(target);
     const SeqNum boundary = restored.first_seq;
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            now_, obs::EventKind::kCkptRollback,
+            obs::Structure::kCheckpoint, boundary, 0, target));
     rename_ = restored.map;
 
     // Squash every structure past the boundary. squashAfter(keep)
@@ -1521,6 +1576,9 @@ Processor::tick()
     if (srl_)
         srl_occupancy_.observe(srl_->size(), 1);
 
+    if (sampler_)
+        sampler_->tick(now_);
+
     // Synthetic multiprocessor traffic: external stores snoop the
     // load-tracking structures (Section 3).
     if (config_.snoop_rate > 0.0 &&
@@ -1625,6 +1683,75 @@ Processor::run(std::uint64_t max_cycles)
     while (!done() && now_ < max_cycles)
         tick();
     return stats_;
+}
+
+void
+Processor::attachProbeBus(obs::ProbeBus *bus)
+{
+    probe_ = bus;
+    if (srl_)
+        srl_->setProbe(bus, &now_);
+    if (lcf_)
+        lcf_->setProbe(bus, &now_);
+    if (fc_)
+        fc_->setProbe(bus, &now_);
+    if (load_buffer_)
+        load_buffer_->setProbe(bus, &now_);
+    hier_->setProbe(bus, &now_);
+}
+
+void
+Processor::attachSampler(obs::CounterSampler *sampler)
+{
+    sampler_ = sampler;
+    if (!sampler)
+        return;
+    sampler->addGauge("window", [this] {
+        return static_cast<std::uint64_t>(window_.size());
+    });
+    sampler->addGauge("sched", [this] {
+        return static_cast<std::uint64_t>(
+            sched_[0].size() + sched_[1].size() + sched_[2].size());
+    });
+    sampler->addGauge("stq", [this] {
+        return static_cast<std::uint64_t>(stq_->size());
+    });
+    sampler->addGauge("sdb", [this] {
+        return static_cast<std::uint64_t>(sdb_.size());
+    });
+    sampler->addGauge("checkpoints", [this] {
+        return static_cast<std::uint64_t>(ckpts_.liveCount());
+    });
+    sampler->addGauge("outstanding_misses", [this] {
+        return static_cast<std::uint64_t>(outstanding_mem_misses_);
+    });
+    if (srl_) {
+        sampler->addGauge("srl", [this] {
+            return static_cast<std::uint64_t>(srl_->size());
+        });
+    }
+    if (lcf_) {
+        sampler->addGauge("lcf_nonzero", [this] {
+            return static_cast<std::uint64_t>(
+                lcf_->bloom().nonzeroCounters());
+        });
+    }
+    if (fc_) {
+        sampler->addGauge("fc_live", [this] {
+            return static_cast<std::uint64_t>(fc_->liveEntries());
+        });
+    }
+    if (load_buffer_) {
+        sampler->addGauge("load_buffer", [this] {
+            return static_cast<std::uint64_t>(
+                load_buffer_->liveEntries());
+        });
+    }
+    if (l2_stq_) {
+        sampler->addGauge("l2_stq", [this] {
+            return static_cast<std::uint64_t>(l2_stq_->size());
+        });
+    }
 }
 
 Addr

@@ -50,6 +50,8 @@
 #include "lsq/store_queue.hh"
 #include "memsys/hierarchy.hh"
 #include "memsys/main_memory.hh"
+#include "obs/probe.hh"
+#include "obs/sampler.hh"
 #include "predictor/branch.hh"
 #include "predictor/store_sets.hh"
 
@@ -230,6 +232,24 @@ class Processor
      */
     std::string formatStats() const;
 
+    /**
+     * Attach an observability probe bus (null detaches). Forwards the
+     * bus plus this processor's cycle counter to every instrumented
+     * structure; core-side probe points fire through the same bus.
+     * Costs one branch per probe point when detached.
+     */
+    void attachProbeBus(obs::ProbeBus *bus);
+
+    /**
+     * Attach a periodic occupancy sampler (null detaches). Registers
+     * gauges for the window, schedulers, SRL, STQ, SDB, forwarding
+     * cache, LCF, load buffer, checkpoints and outstanding misses; the
+     * sampler's tick runs once per simulated cycle. The gauges capture
+     * `this` — call CounterSampler::dropGauges() (or detach) before
+     * the processor is destroyed if the sampler outlives it.
+     */
+    void attachSampler(obs::CounterSampler *sampler);
+
   private:
     // ----- pipeline phases -----
     void processEvents();
@@ -377,6 +397,10 @@ class Processor
 
     Cycle now_ = 0;
     Cycle last_commit_cycle_ = 0;
+
+    // Observability (null unless a harness attaches them).
+    obs::ProbeBus *probe_ = nullptr;
+    obs::CounterSampler *sampler_ = nullptr;
 
     ProcessorStats stats_;
     stats::Occupancy srl_occupancy_;

@@ -53,6 +53,15 @@ runOne(const ProcessorConfig &config,
        const workload::SuiteProfile &suite, std::uint64_t num_uops,
        std::uint64_t seed_override)
 {
+    return runOne(config, suite, num_uops, seed_override,
+                  obs::ObsConfig{});
+}
+
+RunResult
+runOne(const ProcessorConfig &config,
+       const workload::SuiteProfile &suite, std::uint64_t num_uops,
+       std::uint64_t seed_override, const obs::ObsConfig &obs)
+{
     workload::Generator gen(suite, num_uops, seed_override);
     ProcessorConfig cfg = config;
     if (seed_override)
@@ -65,7 +74,29 @@ runOne(const ProcessorConfig &config,
     // warmups for the same reason).
     workload::prewarmCaches(suite, cpu.hierarchyMut());
 
+    // Observability: attach the capture structures before the first
+    // cycle so the event stream and timeline cover the whole run.
+    std::shared_ptr<obs::Recording> rec;
+    obs::ProbeBus bus;
+    if (obs.enabled) {
+        rec = std::make_shared<obs::Recording>(obs.ring_capacity,
+                                               obs.sample_every);
+        rec->meta["config"] = config.name;
+        rec->meta["suite"] = suite.name;
+        rec->meta["uops"] = std::to_string(num_uops);
+        rec->meta["seed"] = std::to_string(seed_override);
+        bus.attach(&rec->ring);
+        cpu.attachProbeBus(&bus);
+        cpu.attachSampler(&rec->sampler);
+    }
+
     const ProcessorStats &s = cpu.run();
+
+    if (rec) {
+        // The gauges capture the processor; it dies with this frame.
+        rec->sampler.dropGauges();
+        rec->meta["cycles"] = std::to_string(s.cycles);
+    }
 
     RunResult r;
     r.config_name = config.name;
@@ -99,6 +130,7 @@ runOne(const ProcessorConfig &config,
         for (const auto t : figure7Thresholds())
             r.srl_occupancy_above[t] = cpu.srlOccupancy().percentAbove(t);
     }
+    r.recording = std::move(rec);
     return r;
 }
 

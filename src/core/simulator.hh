@@ -12,13 +12,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/processor.hh"
 #include "isa/uop.hh"
 #include "memsys/main_memory.hh"
+#include "obs/export.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
@@ -44,6 +47,14 @@ struct RunResult
     double srl_stalls_per_10k = 0.0;
     double pct_time_srl_occupied = 0.0;
     std::map<std::uint64_t, double> srl_occupancy_above; ///< Fig. 7
+
+    /**
+     * Observability capture (null unless the run was instrumented via
+     * the ObsConfig overload of runOne). Shared so results stay
+     * copyable; the gauges are dropped before the processor dies, so
+     * the recording is safe to use for the result's whole lifetime.
+     */
+    std::shared_ptr<obs::Recording> recording;
 };
 
 /** Percent speedup of @p ipc over @p base_ipc. */
@@ -77,7 +88,9 @@ class ReferenceExecutor
 
   private:
     memsys::MainMemory mem_;
-    std::map<SeqNum, std::uint64_t> load_values_;
+    /** Hash map, not ordered: the validation hot path is point lookups
+     * keyed by seq (one per committed load), never ordered scans. */
+    std::unordered_map<SeqNum, std::uint64_t> load_values_;
     std::uint64_t uops_ = 0;
 };
 
@@ -95,6 +108,18 @@ RunResult runOne(const ProcessorConfig &config,
                  const workload::SuiteProfile &suite,
                  std::uint64_t num_uops,
                  std::uint64_t seed_override = 0);
+
+/**
+ * Instrumented variant: when @p obs.enabled, the run is executed with
+ * a probe bus feeding an event ring of @p obs.ring_capacity and a
+ * counter sampler at @p obs.sample_every cycles; the capture is
+ * returned in RunResult::recording. With obs.enabled false this is
+ * exactly the plain runOne (no probes attached, recording null).
+ */
+RunResult runOne(const ProcessorConfig &config,
+                 const workload::SuiteProfile &suite,
+                 std::uint64_t num_uops, std::uint64_t seed_override,
+                 const obs::ObsConfig &obs);
 
 /** Occupancy thresholds reported in Figure 7. */
 const std::vector<std::uint64_t> &figure7Thresholds();

@@ -100,11 +100,18 @@ TraceWriter::finish()
         return;
     finished_ = true;
     // Back-patch the count in the header.
-    std::fseek(file_, offsetof(TraceHeader, count), SEEK_SET);
+    fatal_if(std::fseek(file_, offsetof(TraceHeader, count),
+                        SEEK_SET) != 0,
+             "trace header seek failed");
     fatal_if(std::fwrite(&count_, sizeof(count_), 1, file_) != 1,
              "trace header patch failed");
-    std::fclose(file_);
+    // Buffered record writes may not have touched the disk yet; a
+    // flush/close failure here (ENOSPC and friends) means the file is
+    // truncated or corrupt and must not be reported as written.
+    fatal_if(std::fflush(file_) != 0, "trace flush failed");
+    const int close_rc = std::fclose(file_);
     file_ = nullptr;
+    fatal_if(close_rc != 0, "trace close failed");
 }
 
 TraceReader::TraceReader(const std::string &path)

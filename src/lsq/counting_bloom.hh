@@ -79,6 +79,8 @@ class CountingBloom
             ++overflows;
             return false;
         }
+        if (c == 0)
+            ++nonzero_;
         ++c;
         return true;
     }
@@ -90,6 +92,8 @@ class CountingBloom
         auto &c = counters_[index(addr)];
         panic_if(c == 0, "counting bloom decrement below zero");
         --c;
+        if (c == 0)
+            --nonzero_;
     }
 
     /** Counter value for @p addr. Zero guarantees no member hashes here. */
@@ -115,15 +119,20 @@ class CountingBloom
         return true;
     }
 
+    /** Number of counters currently non-zero (occupancy gauge). */
+    std::size_t nonzeroCounters() const { return nonzero_; }
+
     void
     clear()
     {
         std::fill(counters_.begin(), counters_.end(), 0);
+        nonzero_ = 0;
     }
 
     stats::Scalar overflows;
 
   private:
+    std::size_t nonzero_ = 0;
     std::vector<std::uint16_t> counters_;
     unsigned counter_max_;
     unsigned idx_bits_;

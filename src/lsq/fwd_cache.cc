@@ -64,8 +64,13 @@ ForwardingCache::storeUpdate(Addr addr, std::uint8_t size,
             if (cand.lru < victim->lru)
                 victim = &cand;
         }
-        if (victim->valid)
+        if (victim->valid) {
             ++liveEvictions;
+            if (probe_)
+                probe_->emit(obs::makeEvent(
+                    *clock_, obs::EventKind::kFcEvict,
+                    obs::Structure::kFwdCache, victim->word, 0, 0));
+        }
         victim->valid = true;
         victim->word = word;
         victim->byte_mask = 0;
@@ -87,6 +92,10 @@ ForwardingCache::storeUpdate(Addr addr, std::uint8_t size,
     e->last_store = id;
     e->lru = ++stamp_;
     ++updates;
+    if (probe_)
+        probe_->emit(obs::makeEvent(*clock_, obs::EventKind::kFcInsert,
+                                    obs::Structure::kFwdCache, addr, 0,
+                                    id.index));
 }
 
 bool
@@ -150,6 +159,11 @@ ForwardingCache::storeDrained(Addr addr, std::uint8_t size,
 void
 ForwardingCache::discardAll()
 {
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            *clock_, obs::EventKind::kFcDiscard,
+            obs::Structure::kFwdCache,
+            static_cast<std::uint64_t>(liveEntries()), 0, 0));
     for (auto &e : entries_)
         e.valid = false;
 }

@@ -34,6 +34,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "lsq/store_id.hh"
+#include "obs/probe.hh"
 
 namespace srl
 {
@@ -97,6 +98,14 @@ class ForwardingCache
 
     std::size_t liveEntries() const;
 
+    /** Attach the observability probe bus (see StoreRedoLog::setProbe). */
+    void
+    setProbe(obs::ProbeBus *bus, const Cycle *clock)
+    {
+        probe_ = bus;
+        clock_ = clock;
+    }
+
     stats::Scalar updates;
     mutable stats::Scalar lookups;
     mutable stats::Scalar hits;
@@ -121,6 +130,8 @@ class ForwardingCache
     unsigned num_sets_;
     std::vector<Entry> entries_;
     std::uint64_t stamp_ = 0;
+    obs::ProbeBus *probe_ = nullptr;
+    const Cycle *clock_ = nullptr;
 };
 
 } // namespace lsq

@@ -24,6 +24,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "lsq/counting_bloom.hh"
+#include "obs/probe.hh"
 
 namespace srl
 {
@@ -80,9 +81,23 @@ class LooseCheckFilter
     {
         ++checks;
         const bool hit = bloom_.mayContain(addr);
-        if (hit)
+        if (hit) {
             ++hits;
+            if (probe_)
+                probe_->emit(obs::makeEvent(
+                    *clock_, obs::EventKind::kLcfHit,
+                    obs::Structure::kLcf, addr, 0,
+                    bloom_.count(addr)));
+        }
         return hit;
+    }
+
+    /** Attach the observability probe bus (see StoreRedoLog::setProbe). */
+    void
+    setProbe(obs::ProbeBus *bus, const Cycle *clock)
+    {
+        probe_ = bus;
+        clock_ = clock;
     }
 
     /**
@@ -117,6 +132,8 @@ class LooseCheckFilter
     LcfParams params_;
     CountingBloom bloom_;
     std::vector<std::uint32_t> last_srl_index_;
+    obs::ProbeBus *probe_ = nullptr;
+    const Cycle *clock_ = nullptr;
 };
 
 } // namespace lsq

@@ -48,6 +48,10 @@ SecondaryLoadBuffer::insert(SeqNum seq, CheckpointId ckpt, Addr addr,
         if (!slot.valid) {
             slot = e;
             ++inserts;
+            if (probe_)
+                probe_->emit(obs::makeEvent(
+                    *clock_, obs::EventKind::kLoadBufInsert,
+                    obs::Structure::kLoadBuffer, seq, addr, 0));
             return {};
         }
     }
@@ -60,10 +64,18 @@ SecondaryLoadBuffer::insert(SeqNum seq, CheckpointId ckpt, Addr addr,
                 slot = e;
                 ++inserts;
                 ++victimInserts;
+                if (probe_)
+                    probe_->emit(obs::makeEvent(
+                        *clock_, obs::EventKind::kLoadBufInsert,
+                        obs::Structure::kLoadBuffer, seq, addr, 0));
                 return {};
             }
         }
     }
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            *clock_, obs::EventKind::kLoadBufInsert,
+            obs::Structure::kLoadBuffer, seq, addr, 1));
     return {.overflowed = true};
 }
 
@@ -107,8 +119,14 @@ SecondaryLoadBuffer::storeCheck(StoreId store_id, Addr addr,
     for (const auto &v : victims_)
         consider(v);
 
-    if (oldest)
+    if (oldest) {
         ++violationsFlagged;
+        if (probe_)
+            probe_->emit(obs::makeEvent(
+                *clock_, obs::EventKind::kLoadBufViolation,
+                obs::Structure::kLoadBuffer, oldest->load_seq, addr,
+                oldest->ckpt));
+    }
     return oldest;
 }
 
@@ -135,6 +153,10 @@ SecondaryLoadBuffer::snoopCheck(Addr addr, std::uint8_t size)
     for (const auto &v : victims_)
         consider(v);
 
+    if (probe_)
+        probe_->emit(obs::makeEvent(
+            *clock_, obs::EventKind::kLoadBufSnoop,
+            obs::Structure::kLoadBuffer, addr, 0, oldest ? 1 : 0));
     return oldest;
 }
 

@@ -34,6 +34,7 @@
 #include "lsq/load_queue.hh" // LoadViolation
 #include "lsq/store_id.hh"
 #include "lsq/store_queue.hh" // bytesOverlap
+#include "obs/probe.hh"
 
 namespace srl
 {
@@ -106,6 +107,14 @@ class SecondaryLoadBuffer
 
     std::size_t liveEntries() const;
 
+    /** Attach the observability probe bus (see StoreRedoLog::setProbe). */
+    void
+    setProbe(obs::ProbeBus *bus, const Cycle *clock)
+    {
+        probe_ = bus;
+        clock_ = clock;
+    }
+
     mutable stats::Scalar setLookups;     ///< store/snoop set reads
     mutable stats::Scalar entriesCompared; ///< per-way comparator firings
     stats::Scalar inserts;
@@ -138,6 +147,8 @@ class SecondaryLoadBuffer
     unsigned num_sets_;
     std::vector<Entry> sets_;    ///< num_sets_ x assoc
     std::vector<Entry> victims_; ///< fully associative victim buffer
+    obs::ProbeBus *probe_ = nullptr;
+    const Cycle *clock_ = nullptr;
 };
 
 } // namespace lsq

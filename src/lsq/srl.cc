@@ -44,6 +44,9 @@ StoreRedoLog::pushIndependent(SeqNum seq, StoreId id, CheckpointId ckpt,
     ++tail_abs_;
     ++count_;
     ++pushes;
+    if (probe_)
+        probe_->emit(obs::makeEvent(*clock_, obs::EventKind::kSrlPush,
+                                    obs::Structure::kSrl, seq, addr, 0));
 }
 
 void
@@ -72,6 +75,9 @@ StoreRedoLog::pushDependent(SeqNum seq, StoreId id, CheckpointId ckpt)
     ++count_;
     ++pushes;
     ++dependentPushes;
+    if (probe_)
+        probe_->emit(obs::makeEvent(*clock_, obs::EventKind::kSrlPush,
+                                    obs::Structure::kSrl, seq, 0, 1));
 }
 
 void
@@ -88,6 +94,10 @@ StoreRedoLog::fillDependent(StoreId id, Addr addr, std::uint8_t size,
     e.size = size;
     e.data = data;
     e.data_valid = true;
+    if (probe_)
+        probe_->emit(obs::makeEvent(*clock_, obs::EventKind::kSrlFill,
+                                    obs::Structure::kSrl, e.seq, addr,
+                                    id.index));
 }
 
 const SrlEntry &
@@ -111,6 +121,10 @@ StoreRedoLog::popHead()
     ++head_abs_;
     --count_;
     ++drains;
+    if (probe_)
+        probe_->emit(obs::makeEvent(*clock_, obs::EventKind::kSrlDrain,
+                                    obs::Structure::kSrl, e.seq, e.addr,
+                                    e.id.index));
     return e;
 }
 

@@ -29,6 +29,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "lsq/store_id.hh"
+#include "obs/probe.hh"
 
 namespace srl
 {
@@ -119,12 +120,27 @@ class StoreRedoLog
             fn(slots_[(a - 1) % params_.capacity]);
     }
 
+    /**
+     * Attach the observability probe bus (null detaches); @p clock is
+     * the owning processor's cycle counter, read at emission time so
+     * events are cycle-stamped. Disabled probes cost one null check.
+     */
+    void
+    setProbe(obs::ProbeBus *bus, const Cycle *clock)
+    {
+        probe_ = bus;
+        clock_ = clock;
+    }
+
     stats::Scalar pushes;
     stats::Scalar dependentPushes;
     stats::Scalar drains;
     stats::Scalar indexedReads;
 
   private:
+    obs::ProbeBus *probe_ = nullptr;
+    const Cycle *clock_ = nullptr;
+
     SrlParams params_;
     std::vector<SrlEntry> slots_;
     std::uint64_t head_abs_ = 0; ///< abs id of the head entry

@@ -17,10 +17,15 @@ void
 Hierarchy::prune(Cycle now)
 {
     for (auto it = mshrs_.begin(); it != mshrs_.end();) {
-        if (it->second <= now)
+        if (it->second <= now) {
+            if (probe_)
+                probe_->emit(obs::makeEvent(
+                    it->second, obs::EventKind::kMemMissReturn,
+                    obs::Structure::kMemory, it->first, 0, 0));
             it = mshrs_.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
@@ -83,6 +88,10 @@ Hierarchy::load(Addr addr, Cycle now)
 
     ++memMisses;
     const Cycle ready = now + params_.memory_latency;
+    if (probe_)
+        probe_->emit(obs::makeEvent(now, obs::EventKind::kMemMissIssue,
+                                    obs::Structure::kMemory, line, ready,
+                                    0));
     mshrs_.emplace(line, ready);
     l2_.fill(line);
     l1_.fill(line);

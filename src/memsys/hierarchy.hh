@@ -24,6 +24,7 @@
 #include "memsys/cache.hh"
 #include "memsys/main_memory.hh"
 #include "memsys/prefetcher.hh"
+#include "obs/probe.hh"
 
 namespace srl
 {
@@ -89,6 +90,14 @@ class Hierarchy
     /** Outstanding memory-miss count at @p now (expired MSHRs pruned). */
     unsigned outstandingMisses(Cycle now);
 
+    /** Attach the observability probe bus (see StoreRedoLog::setProbe). */
+    void
+    setProbe(obs::ProbeBus *bus, const Cycle *clock)
+    {
+        probe_ = bus;
+        clock_ = clock;
+    }
+
     stats::Scalar loads;
     stats::Scalar l1Hits;
     stats::Scalar l2Hits;
@@ -107,6 +116,8 @@ class Hierarchy
     StreamPrefetcher prefetcher_;
     /** line addr -> cycle its memory fill completes */
     std::map<Addr, Cycle> mshrs_;
+    obs::ProbeBus *probe_ = nullptr;
+    const Cycle *clock_ = nullptr;
 };
 
 } // namespace memsys

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Observability recording and exporters.
+ *
+ * A Recording bundles the two capture structures of one instrumented
+ * run — the probe-event ring and the counter-timeline sampler — plus
+ * free-form metadata (config, suite, seed). Exporters turn it into:
+ *
+ *  - Chrome/Perfetto trace-event JSON (`toChromeTrace`). The schema
+ *    is `srlsim-trace-v1`: one instant event per surviving probe
+ *    event, async begin/end spans for miss windows, one counter track
+ *    per sampled gauge, and `otherData` carrying run metadata plus
+ *    drop accounting. One simulated cycle maps to one microsecond of
+ *    trace time. The file loads directly in https://ui.perfetto.dev
+ *    and chrome://tracing.
+ *
+ *  - A counter-timeline stats report (`timelineReport` /
+ *    `timelineCsv`) that reuses the srlsim-stats machinery: one
+ *    RunRecord per sample row, so the JSON/CSV renderers, the parser
+ *    and the byte-identical determinism guarantees all apply
+ *    unchanged (schema `srlsim-timeline-v1`).
+ */
+
+#ifndef SRLSIM_OBS_EXPORT_HH
+#define SRLSIM_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/ring.hh"
+#include "obs/sampler.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+/** Capture options for one instrumented run. */
+struct ObsConfig
+{
+    bool enabled = false;
+    /** Probe-event ring capacity (newest events win; drops counted). */
+    std::size_t ring_capacity = 1u << 16;
+    /** Counter-timeline sampling period in cycles; 0 disables. */
+    std::uint64_t sample_every = 64;
+};
+
+/** Everything captured from one instrumented run. */
+struct Recording
+{
+    Recording(std::size_t ring_capacity, std::uint64_t sample_every)
+        : ring(ring_capacity), sampler(sample_every)
+    {
+    }
+
+    EventRing ring;
+    CounterSampler sampler;
+    /** Run identification (config/suite/seed), copied into exports. */
+    std::map<std::string, std::string> meta;
+};
+
+/** Render @p rec as Chrome trace-event JSON (srlsim-trace-v1). */
+std::string toChromeTrace(const Recording &rec);
+
+/**
+ * The counter timeline as a stats report (srlsim-timeline-v1): one
+ * run record per sample, metrics in gauge registration order.
+ */
+stats::StatsReport timelineReport(const Recording &rec);
+
+/** Wide CSV rendering of timelineReport (one row per sample). */
+std::string timelineCsv(const Recording &rec);
+
+/**
+ * Figure-7 style curve point: percent of *occupied* samples (gauge
+ * value > 0) in which @p gauge exceeded @p threshold. Returns 0 when
+ * the gauge does not exist or never went above zero.
+ */
+double percentSamplesAbove(const Recording &rec,
+                           const std::string &gauge,
+                           std::uint64_t threshold);
+
+} // namespace obs
+} // namespace srl
+
+#endif // SRLSIM_OBS_EXPORT_HH

@@ -1,0 +1,58 @@
+#include "obs/probe.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::kDispatch:         return "dispatch";
+      case EventKind::kCommit:           return "commit";
+      case EventKind::kCkptAlloc:        return "ckpt_alloc";
+      case EventKind::kCkptReclaim:      return "ckpt_reclaim";
+      case EventKind::kCkptRollback:     return "ckpt_rollback";
+      case EventKind::kMissEnter:        return "miss_enter";
+      case EventKind::kMissExit:         return "miss_exit";
+      case EventKind::kSliceEnter:       return "slice_enter";
+      case EventKind::kSliceReinsert:    return "slice_reinsert";
+      case EventKind::kSrlPush:          return "srl_push";
+      case EventKind::kSrlFill:          return "srl_fill";
+      case EventKind::kSrlDrain:         return "srl_drain";
+      case EventKind::kSrlStall:         return "srl_stall";
+      case EventKind::kIndexedForward:   return "indexed_forward";
+      case EventKind::kLcfHit:           return "lcf_hit";
+      case EventKind::kFcInsert:         return "fc_insert";
+      case EventKind::kFcEvict:          return "fc_evict";
+      case EventKind::kFcDiscard:        return "fc_discard";
+      case EventKind::kLoadBufInsert:    return "loadbuf_insert";
+      case EventKind::kLoadBufSnoop:     return "loadbuf_snoop";
+      case EventKind::kLoadBufViolation: return "loadbuf_violation";
+      case EventKind::kMemMissIssue:     return "mem_miss_issue";
+      case EventKind::kMemMissReturn:    return "mem_miss_return";
+      case EventKind::kNumKinds:         break;
+    }
+    return "unknown";
+}
+
+const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::kCore:          return "core";
+      case Structure::kCheckpoint:    return "checkpoint";
+      case Structure::kSdb:           return "sdb";
+      case Structure::kSrl:           return "srl";
+      case Structure::kLcf:           return "lcf";
+      case Structure::kFwdCache:      return "fwd_cache";
+      case Structure::kLoadBuffer:    return "load_buffer";
+      case Structure::kMemory:        return "memory";
+      case Structure::kNumStructures: break;
+    }
+    return "unknown";
+}
+
+} // namespace obs
+} // namespace srl

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The observability probe bus: a typed, cycle-stamped event channel
+ * that instrumented structures publish into and sinks (the event ring,
+ * exporters, tests) subscribe to.
+ *
+ * Design constraints (see DESIGN.md "Observability"):
+ *  - Zero overhead when disabled. Instrumented code holds a raw
+ *    `ProbeBus *` that is null by default; every probe point is a
+ *    single branch-on-null. No virtual call, no allocation, no
+ *    formatting happens unless a bus is attached.
+ *  - Events are plain 32-byte PODs. Emission is a bounds-free copy
+ *    into each attached sink; interpretation (names, JSON) happens
+ *    only at export time.
+ *  - Deterministic: probe points fire from single-threaded simulation
+ *    code in pipeline phase order, so for a fixed (config, suite,
+ *    seed) the event stream is byte-identical run to run — the CI
+ *    determinism diff covers exported traces.
+ *
+ * Payload fields `a`, `b`, `c` are kind-specific; the table below is
+ * the normative schema (`srlsim-trace-v1` exports it verbatim):
+ *
+ *   kind              structure    a              b            c
+ *   ----------------- ------------ -------------- ------------ --------
+ *   kDispatch         kCore        seq            pc           uop cls
+ *   kCommit           kCheckpoint  first_seq      uops         ckpt id
+ *   kCkptAlloc        kCheckpoint  first_seq      -            ckpt id
+ *   kCkptReclaim      kCheckpoint  first_seq      -            ckpt id
+ *   kCkptRollback     kCheckpoint  boundary_seq   -            ckpt id
+ *   kMissEnter        kCore        load seq       addr         -
+ *   kMissExit         kCore        load seq       addr         -
+ *   kSliceEnter       kSdb         seq            -            passes
+ *   kSliceReinsert    kSdb         seq            -            passes
+ *   kSrlPush          kSrl         store seq      addr         dep?1:0
+ *   kSrlFill          kSrl         store seq      addr         slot
+ *   kSrlDrain         kSrl         store seq      addr         slot
+ *   kSrlStall         kSrl         load seq       addr         -
+ *   kIndexedForward   kSrl         load seq       addr         slot
+ *   kLcfHit           kLcf         addr           -            count
+ *   kFcInsert         kFwdCache    addr           -            id index
+ *   kFcEvict          kFwdCache    word addr      -            -
+ *   kFcDiscard        kFwdCache    live entries   -            -
+ *   kLoadBufInsert    kLoadBuffer  load seq       addr         ovf?1:0
+ *   kLoadBufSnoop     kLoadBuffer  addr           -            hit?1:0
+ *   kLoadBufViolation kLoadBuffer  load seq       addr         ckpt id
+ *   kMemMissIssue     kMemory      line addr      ready cycle  -
+ *   kMemMissReturn    kMemory      line addr      -            -
+ */
+
+#ifndef SRLSIM_OBS_PROBE_HH
+#define SRLSIM_OBS_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+/** What happened. Keep eventKindName() in probe.cc in sync. */
+enum class EventKind : std::uint8_t
+{
+    kDispatch,
+    kCommit,
+    kCkptAlloc,
+    kCkptReclaim,
+    kCkptRollback,
+    kMissEnter,
+    kMissExit,
+    kSliceEnter,
+    kSliceReinsert,
+    kSrlPush,
+    kSrlFill,
+    kSrlDrain,
+    kSrlStall,
+    kIndexedForward,
+    kLcfHit,
+    kFcInsert,
+    kFcEvict,
+    kFcDiscard,
+    kLoadBufInsert,
+    kLoadBufSnoop,
+    kLoadBufViolation,
+    kMemMissIssue,
+    kMemMissReturn,
+    kNumKinds, ///< sentinel, not a valid kind
+};
+
+/** Which modeled structure reported it. Keep structureName() in sync. */
+enum class Structure : std::uint8_t
+{
+    kCore,
+    kCheckpoint,
+    kSdb,
+    kSrl,
+    kLcf,
+    kFwdCache,
+    kLoadBuffer,
+    kMemory,
+    kNumStructures, ///< sentinel
+};
+
+/** Stable lowercase identifier ("dispatch", "srl_push", ...). */
+const char *eventKindName(EventKind k);
+
+/** Stable lowercase identifier ("core", "srl", ...). */
+const char *structureName(Structure s);
+
+/** One probe event. POD; payload meaning is per-kind (file header). */
+struct Event
+{
+    Cycle cycle = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t c = 0;
+    EventKind kind = EventKind::kDispatch;
+    Structure structure = Structure::kCore;
+};
+
+/** Convenience builder keeping call sites one line. */
+inline Event
+makeEvent(Cycle cycle, EventKind kind, Structure structure,
+          std::uint64_t a = 0, std::uint64_t b = 0, std::uint32_t c = 0)
+{
+    Event e;
+    e.cycle = cycle;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.kind = kind;
+    e.structure = structure;
+    return e;
+}
+
+/** A subscriber to the probe bus. */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+    virtual void onEvent(const Event &e) = 0;
+};
+
+/**
+ * Fans emitted events out to attached sinks. Not thread-safe by
+ * design: a bus belongs to exactly one simulation (runOne builds one
+ * per run; parallel sweeps give every run its own).
+ */
+class ProbeBus
+{
+  public:
+    void
+    attach(ProbeSink *sink)
+    {
+        if (sink)
+            sinks_.push_back(sink);
+    }
+
+    void
+    detach(ProbeSink *sink)
+    {
+        for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+            if (*it == sink) {
+                sinks_.erase(it);
+                return;
+            }
+        }
+    }
+
+    bool active() const { return !sinks_.empty(); }
+    std::size_t sinkCount() const { return sinks_.size(); }
+
+    void
+    emit(const Event &e)
+    {
+        for (ProbeSink *s : sinks_)
+            s->onEvent(e);
+    }
+
+  private:
+    std::vector<ProbeSink *> sinks_;
+};
+
+} // namespace obs
+} // namespace srl
+
+#endif // SRLSIM_OBS_PROBE_HH

@@ -1,0 +1,52 @@
+#include "obs/ring.hh"
+
+#include "common/logging.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+EventRing::EventRing(std::size_t capacity) : slots_(capacity)
+{
+    fatal_if(capacity == 0, "event ring capacity must be > 0");
+}
+
+void
+EventRing::onEvent(const Event &e)
+{
+    slots_[accepted_ % slots_.size()] = e;
+    ++accepted_;
+}
+
+std::size_t
+EventRing::size() const
+{
+    return accepted_ < slots_.size()
+               ? static_cast<std::size_t>(accepted_)
+               : slots_.size();
+}
+
+std::uint64_t
+EventRing::dropped() const
+{
+    return accepted_ > slots_.size() ? accepted_ - slots_.size() : 0;
+}
+
+const Event &
+EventRing::at(std::size_t i) const
+{
+    panic_if(i >= size(), "event ring index %zu out of range", i);
+    if (accepted_ <= slots_.size())
+        return slots_[i];
+    return slots_[(accepted_ + i) % slots_.size()];
+}
+
+void
+EventRing::clear()
+{
+    accepted_ = 0;
+}
+
+} // namespace obs
+} // namespace srl

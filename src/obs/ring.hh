@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-capacity event ring: the default probe-bus sink. A flight
+ * recorder — when full it overwrites the oldest event and counts the
+ * overwrite, so the newest `capacity` events survive and the exporter
+ * can report exactly how many were dropped. Append is O(1) with no
+ * allocation after construction, keeping enabled-probe overhead flat.
+ */
+
+#ifndef SRLSIM_OBS_RING_HH
+#define SRLSIM_OBS_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/probe.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+class EventRing : public ProbeSink
+{
+  public:
+    /** @p capacity must be > 0 (fatal otherwise). */
+    explicit EventRing(std::size_t capacity);
+
+    void onEvent(const Event &e) override;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Events currently held (min(accepted, capacity)). */
+    std::size_t size() const;
+
+    /** Events ever offered to the ring. */
+    std::uint64_t accepted() const { return accepted_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** The i-th surviving event, oldest first. @pre i < size() */
+    const Event &at(std::size_t i) const;
+
+    /** Apply @p fn to surviving events, oldest first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            fn(at(i));
+    }
+
+    void clear();
+
+  private:
+    std::vector<Event> slots_;
+    std::uint64_t accepted_ = 0;
+};
+
+} // namespace obs
+} // namespace srl
+
+#endif // SRLSIM_OBS_RING_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Periodic counter-timeline sampler. The processor registers a set of
+ * named occupancy gauges (SRL entries, forwarding-cache live words,
+ * LCF non-zero counters, load-buffer entries, ...) and the sampler
+ * reads all of them every N cycles, building the timeline behind the
+ * paper's Figure 7 occupancy curves.
+ *
+ * Like the probe bus, the sampler is branch-on-null at the call site:
+ * a processor without an attached sampler pays one pointer compare per
+ * cycle. With one attached, sampling cost is amortized by the
+ * interval (`--sample-every`).
+ */
+
+#ifndef SRLSIM_OBS_SAMPLER_HH
+#define SRLSIM_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace srl
+{
+namespace obs
+{
+
+class CounterSampler
+{
+  public:
+    /** @p every = sampling period in cycles; 0 disables sampling. */
+    explicit CounterSampler(std::uint64_t every = 0) : every_(every) {}
+
+    std::uint64_t interval() const { return every_; }
+
+    /**
+     * Register a gauge. Must happen before the first tick(); the
+     * column order of samples is registration order.
+     */
+    void
+    addGauge(std::string name, std::function<std::uint64_t()> read)
+    {
+        names_.push_back(std::move(name));
+        reads_.push_back(std::move(read));
+    }
+
+    /** Sample if @p now is on the sampling grid. */
+    void
+    tick(Cycle now)
+    {
+        if (every_ == 0 || reads_.empty() || now % every_ != 0)
+            return;
+        Sample s;
+        s.cycle = now;
+        s.values.reserve(reads_.size());
+        for (const auto &read : reads_)
+            s.values.push_back(read());
+        samples_.push_back(std::move(s));
+    }
+
+    /** One timeline row: the cycle plus one value per gauge. */
+    struct Sample
+    {
+        Cycle cycle = 0;
+        std::vector<std::uint64_t> values;
+    };
+
+    const std::vector<std::string> &gaugeNames() const { return names_; }
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /**
+     * Drop the gauge closures (they capture pointers into the
+     * processor) while keeping names and samples. Called when the
+     * simulation ends so a Recording can safely outlive its Processor.
+     */
+    void
+    dropGauges()
+    {
+        reads_.clear();
+    }
+
+    void
+    clear()
+    {
+        names_.clear();
+        reads_.clear();
+        samples_.clear();
+    }
+
+  private:
+    std::uint64_t every_;
+    std::vector<std::string> names_;
+    std::vector<std::function<std::uint64_t()>> reads_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace obs
+} // namespace srl
+
+#endif // SRLSIM_OBS_SAMPLER_HH

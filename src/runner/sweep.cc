@@ -1,9 +1,11 @@
 #include "runner/sweep.hh"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 
 #include "common/random.hh"
+#include "obs/export.hh"
 #include "runner/thread_pool.hh"
 
 namespace srl
@@ -117,6 +119,59 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
              }});
     }
     return runTasks(tasks, opts);
+}
+
+TracedSweepResult
+runSweepTraced(const std::vector<SweepPoint> &points,
+               const SweepOptions &opts,
+               const std::vector<std::string> &trace_points,
+               const obs::ObsConfig &obs)
+{
+    obs::ObsConfig capture = obs;
+    capture.enabled = true;
+
+    // Each traced point writes its JSON into a pre-sized slot indexed
+    // by point order, so trace order never depends on completion order.
+    std::vector<std::string> trace_json(points.size());
+
+    std::vector<Task> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const bool traced =
+            std::find(trace_points.begin(), trace_points.end(),
+                      p.name) != trace_points.end();
+        if (!traced) {
+            tasks.push_back(
+                {p.name, [&p, &opts](std::uint64_t run_seed) {
+                     const core::RunResult r = core::runOne(
+                         p.config, p.suite, p.uops, run_seed);
+                     return recordFromResult(r, run_seed,
+                                             opts.occupancy_series);
+                 }});
+            continue;
+        }
+        std::string *slot = &trace_json[i];
+        tasks.push_back(
+            {p.name,
+             [&p, &opts, capture, slot](std::uint64_t run_seed) {
+                 const core::RunResult r = core::runOne(
+                     p.config, p.suite, p.uops, run_seed, capture);
+                 r.recording->meta["point"] = p.name;
+                 *slot = obs::toChromeTrace(*r.recording);
+                 return recordFromResult(r, run_seed,
+                                         opts.occupancy_series);
+             }});
+    }
+
+    TracedSweepResult result;
+    result.report = runTasks(tasks, opts);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!trace_json[i].empty())
+            result.traces.emplace_back(points[i].name,
+                                       std::move(trace_json[i]));
+    }
+    return result;
 }
 
 std::vector<SweepPoint>

@@ -91,6 +91,27 @@ stats::RunRecord recordFromResult(const core::RunResult &r,
 stats::StatsReport runSweep(const std::vector<SweepPoint> &points,
                             const SweepOptions &opts);
 
+/** runSweepTraced result: the report plus per-point Chrome traces. */
+struct TracedSweepResult
+{
+    stats::StatsReport report;
+    /** (point name, srlsim-trace-v1 JSON), in point order. */
+    std::vector<std::pair<std::string, std::string>> traces;
+};
+
+/**
+ * Like runSweep, but points whose name appears in @p trace_points run
+ * instrumented: a probe bus + event ring + counter sampler capture the
+ * run (per @p obs; its `enabled` flag is ignored) and the Chrome-trace
+ * JSON is returned alongside the report. Capture happens on the worker
+ * threads; like the report, the traces are byte-identical for a fixed
+ * (points, seed) whatever the job count.
+ */
+TracedSweepResult runSweepTraced(
+    const std::vector<SweepPoint> &points, const SweepOptions &opts,
+    const std::vector<std::string> &trace_points,
+    const obs::ObsConfig &obs);
+
 /**
  * Convenience: the cross product of labeled configs x suites, in
  * config-major order with row names "<label>/<suite>".

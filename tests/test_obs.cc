@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the observability subsystem: probe bus fan-out, event
+ * ring wraparound and drop accounting, sampler periodicity, capture
+ * through the simulator facade, exporter well-formedness, and the
+ * determinism contract for traced parallel sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "obs/export.hh"
+#include "obs/probe.hh"
+#include "obs/ring.hh"
+#include "obs/sampler.hh"
+#include "runner/sweep.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace srl;
+
+/** Test sink that remembers every event it saw. */
+class VectorSink : public obs::ProbeSink
+{
+  public:
+    void onEvent(const obs::Event &e) override { events.push_back(e); }
+    std::vector<obs::Event> events;
+};
+
+obs::Event
+eventWithSeq(std::uint64_t seq)
+{
+    return obs::makeEvent(seq * 10, obs::EventKind::kDispatch,
+                          obs::Structure::kCore, seq);
+}
+
+TEST(ProbeBus, InactiveWithoutSinksAndFansOutToAll)
+{
+    obs::ProbeBus bus;
+    EXPECT_FALSE(bus.active());
+    EXPECT_EQ(bus.sinkCount(), 0u);
+
+    VectorSink a, b;
+    bus.attach(&a);
+    bus.attach(&b);
+    bus.attach(nullptr); // ignored
+    EXPECT_TRUE(bus.active());
+    EXPECT_EQ(bus.sinkCount(), 2u);
+
+    bus.emit(eventWithSeq(7));
+    ASSERT_EQ(a.events.size(), 1u);
+    ASSERT_EQ(b.events.size(), 1u);
+    EXPECT_EQ(a.events[0].a, 7u);
+    EXPECT_EQ(a.events[0].cycle, 70u);
+
+    bus.detach(&a);
+    EXPECT_EQ(bus.sinkCount(), 1u);
+    bus.emit(eventWithSeq(8));
+    EXPECT_EQ(a.events.size(), 1u);
+    EXPECT_EQ(b.events.size(), 2u);
+}
+
+TEST(EventRing, FillsWithoutDroppingBelowCapacity)
+{
+    obs::EventRing ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.onEvent(eventWithSeq(i));
+    EXPECT_EQ(ring.size(), 5u);
+    EXPECT_EQ(ring.accepted(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(ring.at(i).a, i);
+}
+
+TEST(EventRing, WrapsKeepingNewestAndCountsDrops)
+{
+    obs::EventRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.onEvent(eventWithSeq(i));
+
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.accepted(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    // Survivors are the newest four, oldest-first: 6, 7, 8, 9.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ring.at(i).a, 6u + i);
+        EXPECT_EQ(ring.at(i).cycle, (6u + i) * 10);
+    }
+
+    // forEach visits the same events in the same order as at().
+    std::vector<std::uint64_t> seen;
+    ring.forEach([&](const obs::Event &e) { seen.push_back(e.a); });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(CounterSampler, SamplesOnGridOnly)
+{
+    obs::CounterSampler sampler(4);
+    std::uint64_t value = 0;
+    sampler.addGauge("v", [&] { return value; });
+
+    for (Cycle now = 0; now < 10; ++now) {
+        value = now * 100;
+        sampler.tick(now);
+    }
+
+    ASSERT_EQ(sampler.samples().size(), 3u); // cycles 0, 4, 8
+    EXPECT_EQ(sampler.samples()[0].cycle, 0u);
+    EXPECT_EQ(sampler.samples()[1].cycle, 4u);
+    EXPECT_EQ(sampler.samples()[2].cycle, 8u);
+    EXPECT_EQ(sampler.samples()[1].values[0], 400u);
+    EXPECT_EQ(sampler.samples()[2].values[0], 800u);
+
+    // Dropping the gauges keeps names and samples readable.
+    sampler.dropGauges();
+    EXPECT_EQ(sampler.gaugeNames().size(), 1u);
+    EXPECT_EQ(sampler.samples().size(), 3u);
+}
+
+TEST(CounterSampler, ZeroIntervalDisablesSampling)
+{
+    obs::CounterSampler sampler(0);
+    sampler.addGauge("v", [] { return 1u; });
+    for (Cycle now = 0; now < 100; ++now)
+        sampler.tick(now);
+    EXPECT_TRUE(sampler.samples().empty());
+}
+
+TEST(ObsNames, EveryKindAndStructureHasAStableName)
+{
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(obs::EventKind::kNumKinds); ++k) {
+        const char *name =
+            obs::eventKindName(static_cast<obs::EventKind>(k));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+    }
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(obs::Structure::kNumStructures);
+         ++s) {
+        const char *name =
+            obs::structureName(static_cast<obs::Structure>(s));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+    }
+}
+
+TEST(Capture, DisabledRunHasNoRecording)
+{
+    const auto suite = workload::suiteProfile("MM");
+    const auto r = core::runOne(core::srlConfig(), suite, 5000, 0,
+                                obs::ObsConfig{});
+    EXPECT_EQ(r.recording, nullptr);
+}
+
+TEST(Capture, EnabledRunRecordsEventsSamplesAndMeta)
+{
+    obs::ObsConfig capture;
+    capture.enabled = true;
+    capture.ring_capacity = 1u << 14;
+    capture.sample_every = 32;
+
+    const auto suite = workload::suiteProfile("SFP2K");
+    const auto r =
+        core::runOne(core::srlConfig(), suite, 20000, 0, capture);
+
+    ASSERT_NE(r.recording, nullptr);
+    const auto &rec = *r.recording;
+    EXPECT_GT(rec.ring.accepted(), 0u);
+    EXPECT_FALSE(rec.sampler.samples().empty());
+    EXPECT_FALSE(rec.sampler.gaugeNames().empty());
+
+    // The SRL config samples an "srl" gauge (the Figure 7 curve).
+    const auto &names = rec.sampler.gaugeNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "srl"),
+              names.end());
+
+    // Meta identifies the run.
+    EXPECT_EQ(rec.meta.at("config"), r.config_name);
+    EXPECT_EQ(rec.meta.at("suite"), r.workload_name);
+    EXPECT_FALSE(rec.meta.at("cycles").empty());
+
+    // Every event is stamped within the run. (Emission order is not
+    // globally monotone in the stamp: kMemMissReturn carries the fill
+    // cycle and is published retroactively at MSHR-prune time.)
+    const auto total = static_cast<Cycle>(r.cycles);
+    rec.ring.forEach([&](const obs::Event &e) {
+        EXPECT_LE(e.cycle, total);
+        EXPECT_LT(static_cast<std::size_t>(e.kind),
+                  static_cast<std::size_t>(obs::EventKind::kNumKinds));
+        EXPECT_LT(
+            static_cast<std::size_t>(e.structure),
+            static_cast<std::size_t>(obs::Structure::kNumStructures));
+    });
+}
+
+TEST(Capture, InstrumentedRunMatchesUninstrumentedResults)
+{
+    // Probes observe; they must never perturb the simulation.
+    obs::ObsConfig capture;
+    capture.enabled = true;
+    const auto suite = workload::suiteProfile("SINT2K");
+
+    const auto plain = core::runOne(core::srlConfig(), suite, 20000);
+    const auto traced =
+        core::runOne(core::srlConfig(), suite, 20000, 0, capture);
+
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.stats.committed_uops, traced.stats.committed_uops);
+    EXPECT_EQ(plain.stats.mem_misses, traced.stats.mem_misses);
+    EXPECT_EQ(plain.stats.redone_stores, traced.stats.redone_stores);
+}
+
+TEST(Export, ChromeTraceIsStructurallySound)
+{
+    obs::ObsConfig capture;
+    capture.enabled = true;
+    capture.sample_every = 64;
+    const auto suite = workload::suiteProfile("SFP2K");
+    const auto r =
+        core::runOne(core::srlConfig(), suite, 20000, 0, capture);
+    ASSERT_NE(r.recording, nullptr);
+
+    const std::string json = obs::toChromeTrace(*r.recording);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("srlsim-trace-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"events_accepted\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos); // counters
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos); // instants
+
+    // No emitted string contains braces, so bracket balance is a
+    // meaningful structural check without a JSON parser.
+    const auto count = [&](char ch) {
+        return std::count(json.begin(), json.end(), ch);
+    };
+    EXPECT_EQ(count('{'), count('}'));
+    EXPECT_EQ(count('['), count(']'));
+}
+
+TEST(Export, TimelineReportRoundTripsThroughJson)
+{
+    obs::ObsConfig capture;
+    capture.enabled = true;
+    capture.sample_every = 64;
+    const auto suite = workload::suiteProfile("MM");
+    const auto r =
+        core::runOne(core::srlConfig(), suite, 15000, 0, capture);
+    ASSERT_NE(r.recording, nullptr);
+
+    const auto rep = obs::timelineReport(*r.recording);
+    EXPECT_EQ(rep.meta.at("schema"), "srlsim-timeline-v1");
+    EXPECT_EQ(rep.runs.size(), r.recording->sampler.samples().size());
+
+    const std::string json = rep.toJson();
+    const auto parsed = stats::StatsReport::fromJson(json);
+    EXPECT_EQ(parsed.toJson(), json);
+
+    // CSV has one row per sample plus the header.
+    const std::string csv = obs::timelineCsv(*r.recording);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              rep.runs.size() + 1);
+}
+
+TEST(Export, PercentSamplesAboveMatchesHandComputation)
+{
+    obs::Recording rec(8, 2);
+    std::uint64_t value = 0;
+    rec.sampler.addGauge("occ", [&] { return value; });
+    const std::uint64_t series[] = {0, 5, 10, 0, 20, 5};
+    Cycle now = 0;
+    for (const auto v : series) {
+        value = v;
+        rec.sampler.tick(now);
+        now += 2;
+    }
+
+    // Occupied samples: 5, 10, 20, 5 (four of six).
+    EXPECT_DOUBLE_EQ(obs::percentSamplesAbove(rec, "occ", 0), 100.0);
+    EXPECT_DOUBLE_EQ(obs::percentSamplesAbove(rec, "occ", 5), 50.0);
+    EXPECT_DOUBLE_EQ(obs::percentSamplesAbove(rec, "occ", 10), 25.0);
+    EXPECT_DOUBLE_EQ(obs::percentSamplesAbove(rec, "occ", 100), 0.0);
+    EXPECT_DOUBLE_EQ(obs::percentSamplesAbove(rec, "missing", 0), 0.0);
+}
+
+TEST(TracedSweep, ParallelTracesAreByteIdenticalToSerial)
+{
+    std::vector<runner::SweepPoint> points;
+    for (const char *s : {"MM", "SFP2K", "SINT2K", "PROD"}) {
+        runner::SweepPoint p;
+        p.name = std::string("srl/") + s;
+        p.config = core::srlConfig();
+        p.suite = workload::suiteProfile(s);
+        p.uops = 8000;
+        points.push_back(std::move(p));
+    }
+    const std::vector<std::string> traced = {"srl/SFP2K", "srl/PROD"};
+
+    obs::ObsConfig capture;
+    capture.sample_every = 64;
+
+    runner::SweepOptions serial;
+    serial.jobs = 1;
+    serial.seed = 42;
+    runner::SweepOptions parallel;
+    parallel.jobs = 4;
+    parallel.seed = 42;
+
+    const auto r1 =
+        runner::runSweepTraced(points, serial, traced, capture);
+    const auto r4 =
+        runner::runSweepTraced(points, parallel, traced, capture);
+
+    EXPECT_EQ(r1.report.toJson(), r4.report.toJson());
+
+    ASSERT_EQ(r1.traces.size(), 2u);
+    ASSERT_EQ(r4.traces.size(), 2u);
+    // Traces come back in point order regardless of completion order.
+    EXPECT_EQ(r1.traces[0].first, "srl/SFP2K");
+    EXPECT_EQ(r1.traces[1].first, "srl/PROD");
+    for (std::size_t i = 0; i < r1.traces.size(); ++i) {
+        EXPECT_EQ(r1.traces[i].first, r4.traces[i].first);
+        EXPECT_EQ(r1.traces[i].second, r4.traces[i].second);
+    }
+}
+
+} // namespace

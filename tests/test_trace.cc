@@ -122,6 +122,55 @@ TEST(Trace, BadMagicIsFatal)
     std::remove(path.c_str());
 }
 
+TEST(Trace, TruncatedHeaderIsFatal)
+{
+    // A file shorter than the 16-byte header must be rejected up
+    // front, not read as a zero-count trace.
+    const auto path = tmpPath("shorthdr.srlt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("SRLT", f); // magic only, no version/count
+    std::fclose(f);
+    EXPECT_EXIT({ isa::TraceReader r(path); },
+                ::testing::ExitedWithCode(1), "truncated header");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, BadVersionIsFatal)
+{
+    const auto path = tmpPath("badver.srlt");
+    {
+        isa::TraceWriter w(path);
+        w.finish();
+    }
+    // Corrupt the version field (bytes 4..7) in place.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    const std::uint32_t bogus = 999;
+    std::fseek(f, 4, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EXIT({ isa::TraceReader r(path); },
+                ::testing::ExitedWithCode(1), "unsupported version");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WriterReportsIoErrorInsteadOfSilentTruncation)
+{
+    // /dev/full accepts buffered writes but fails them at flush time;
+    // finish() must detect that instead of quietly dropping the tail.
+    std::FILE *df = std::fopen("/dev/full", "wb");
+    if (!df)
+        GTEST_SKIP() << "/dev/full not available";
+    std::fclose(df);
+    EXPECT_EXIT(
+        {
+            workload::Generator gen(workload::suiteProfile("MM"), 100);
+            isa::TraceWriter w("/dev/full");
+            w.appendAll(gen);
+            w.finish();
+        },
+        ::testing::ExitedWithCode(1), "failed");
+}
+
 TEST(Trace, TruncatedRecordIsFatal)
 {
     const auto path = tmpPath("trunc.srlt");
