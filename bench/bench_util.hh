@@ -11,9 +11,11 @@
 #ifndef SRLSIM_BENCH_BENCH_UTIL_HH
 #define SRLSIM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,7 @@ struct BenchArgs
         workload::suiteProfiles();
     unsigned jobs = 0;        ///< sweep workers; 0 = all hardware threads
     std::uint64_t seed = 0;   ///< 0 = each suite's canonical seed
+    std::string json_out;     ///< write a machine-readable summary here
 };
 
 inline BenchArgs
@@ -49,10 +52,13 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             args.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json-out") == 0 &&
+                   i + 1 < argc) {
+            args.json_out = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--uops N] [--suite NAME] "
-                         "[--jobs N] [--seed S]\n",
+                         "[--jobs N] [--seed S] [--json-out FILE]\n",
                          argv[0]);
             std::exit(1);
         }
@@ -103,20 +109,98 @@ printRow(const std::string &label, const std::vector<double> &values)
     std::printf("\n");
 }
 
+/** Model-throughput summary of one timed sweep. */
+struct BenchTiming
+{
+    double wall_s = 0;          ///< host wall-clock for the whole sweep
+    std::uint64_t uops = 0;     ///< uops simulated, summed over runs
+    std::uint64_t sim_cycles = 0; ///< cycles simulated, summed over runs
+    double uopsPerSec() const { return wall_s > 0 ? uops / wall_s : 0; }
+    double
+    simCyclesPerSec() const
+    {
+        return wall_s > 0 ? sim_cycles / wall_s : 0;
+    }
+};
+
+/** Print the standard timing footer (host wall time + model rates). */
+inline void
+printTiming(const BenchTiming &t)
+{
+    std::printf("timing: wall %.3f s | %llu uops (%.0f uops/s) | "
+                "%llu sim cycles (%.0f cycles/s)\n",
+                t.wall_s, static_cast<unsigned long long>(t.uops),
+                t.uopsPerSec(),
+                static_cast<unsigned long long>(t.sim_cycles),
+                t.simCyclesPerSec());
+}
+
+/**
+ * Write a self-describing JSON summary of a timed sweep, the input to
+ * tools/bench_gate.py. The commit comes from $SRLSIM_COMMIT (CI sets
+ * it from the checkout SHA); "unknown" outside CI.
+ */
+inline void
+writeBenchJson(const std::string &path, const char *bench,
+               const BenchTiming &t, const BenchArgs &args)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    const char *commit = std::getenv("SRLSIM_COMMIT");
+    char date[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc))
+        std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"commit\": \"%s\",\n"
+                 "  \"date\": \"%s\",\n"
+                 "  \"wall_s\": %.6f,\n"
+                 "  \"uops\": %llu,\n"
+                 "  \"uops_per_s\": %.1f,\n"
+                 "  \"sim_cycles\": %llu,\n"
+                 "  \"sim_cycles_per_s\": %.1f,\n"
+                 "  \"config\": {\n"
+                 "    \"uops_per_run\": %llu,\n"
+                 "    \"suites\": %zu,\n"
+                 "    \"jobs\": %u,\n"
+                 "    \"seed\": %llu\n"
+                 "  }\n"
+                 "}\n",
+                 bench, commit ? commit : "unknown", date, t.wall_s,
+                 static_cast<unsigned long long>(t.uops), t.uopsPerSec(),
+                 static_cast<unsigned long long>(t.sim_cycles),
+                 t.simCyclesPerSec(),
+                 static_cast<unsigned long long>(args.uops),
+                 args.suites.size(), args.jobs,
+                 static_cast<unsigned long long>(args.seed));
+    std::fclose(f);
+}
+
 /**
  * Run configs x suites through the sweep runner (all points in one
  * parallel batch, baseline included) and print one row per
- * non-baseline config as percent speedup over configs[0].
+ * non-baseline config as percent speedup over configs[0], followed by
+ * a timing footer. With --json-out, also writes the machine-readable
+ * summary consumed by the CI perf gate.
  */
 inline void
 runAndPrintSpeedups(
     const std::vector<std::pair<std::string, core::ProcessorConfig>>
         &configs,
-    const BenchArgs &args)
+    const BenchArgs &args, const char *bench_name = "bench")
 {
     const auto points =
         runner::matrixPoints(configs, args.suites, args.uops);
+    const auto t0 = std::chrono::steady_clock::now();
     const auto rep = runner::runSweep(points, sweepOptions(args));
+    const auto t1 = std::chrono::steady_clock::now();
     const std::size_t ns = args.suites.size();
     for (std::size_t c = 1; c < configs.size(); ++c) {
         std::vector<double> row;
@@ -126,6 +210,18 @@ runAndPrintSpeedups(
         }
         printRow(configs[c].first, row);
     }
+
+    BenchTiming t;
+    t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto &r : rep.runs) {
+        if (r.failed())
+            continue;
+        t.uops += static_cast<std::uint64_t>(r.metric("uops"));
+        t.sim_cycles += static_cast<std::uint64_t>(r.metric("cycles"));
+    }
+    printTiming(t);
+    if (!args.json_out.empty())
+        writeBenchJson(args.json_out, bench_name, t, args);
 }
 
 } // namespace bench

@@ -13,11 +13,17 @@ namespace srl
 namespace debug
 {
 
-namespace
+namespace detail
 {
-
 std::atomic<std::uint32_t> g_flags{0};
 std::atomic<bool> g_env_parsed{false};
+} // namespace detail
+
+using detail::g_env_parsed;
+using detail::g_flags;
+
+namespace
+{
 
 struct FlagName
 {
@@ -87,15 +93,6 @@ initFromEnvironment()
         return;
     if (const char *env = std::getenv("SRLSIM_DEBUG"))
         enableFromList(env);
-}
-
-bool
-isEnabled(Flag flag)
-{
-    if (!g_env_parsed.load(std::memory_order_relaxed))
-        initFromEnvironment();
-    return (g_flags.load(std::memory_order_relaxed) &
-            static_cast<std::uint32_t>(flag)) != 0;
 }
 
 void

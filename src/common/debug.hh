@@ -12,6 +12,7 @@
 #ifndef SRLSIM_COMMON_DEBUG_HH
 #define SRLSIM_COMMON_DEBUG_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -50,8 +51,23 @@ unsigned enableFromList(const std::string &list);
  *  isEnabled call; callable explicitly from tests). */
 void initFromEnvironment();
 
+namespace detail
+{
+// Exposed so isEnabled inlines to a load-and-test at every DTRACE
+// site; treat as private to debug.cc otherwise.
+extern std::atomic<std::uint32_t> g_flags;
+extern std::atomic<bool> g_env_parsed;
+} // namespace detail
+
 /** Is @p flag currently enabled? */
-bool isEnabled(Flag flag);
+inline bool
+isEnabled(Flag flag)
+{
+    if (!detail::g_env_parsed.load(std::memory_order_relaxed))
+        initFromEnvironment();
+    return (detail::g_flags.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(flag)) != 0;
+}
 
 /** Disable everything (test isolation). */
 void clearAll();

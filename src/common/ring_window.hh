@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A growable ring buffer with deque semantics (push_back / pop_front /
+ * random access) on one contiguous power-of-two allocation.
+ *
+ * This is the storage behind the processor's in-flight window: the
+ * per-cycle phases walk and index it millions of times per run, and
+ * std::deque's chunked storage (two dependent loads per operator[])
+ * made that walk the single hottest data path in the profile. A ring
+ * over one flat vector keeps window scans cache-linear and indexing a
+ * mask-and-add.
+ *
+ * Unlike CircularFifo (a fixed-capacity structural model), RingWindow
+ * grows by doubling: the window is a software bookkeeping structure,
+ * not a modeled hardware resource, so running out of slots must never
+ * panic the simulation.
+ */
+
+#ifndef SRLSIM_COMMON_RING_WINDOW_HH
+#define SRLSIM_COMMON_RING_WINDOW_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+
+namespace srl
+{
+
+template <typename T>
+class RingWindow
+{
+  public:
+    explicit RingWindow(std::size_t initial_capacity = 64)
+    {
+        std::size_t cap = 1;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return slots_[(head_ + i) & mask()];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots_[(head_ + i) & mask()];
+    }
+
+    T &
+    front()
+    {
+        panic_if(empty(), "RingWindow front() on empty ring");
+        return slots_[head_];
+    }
+
+    T &
+    back()
+    {
+        panic_if(empty(), "RingWindow back() on empty ring");
+        return slots_[(head_ + size_ - 1) & mask()];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & mask()] = std::move(value);
+        ++size_;
+    }
+
+    /**
+     * Append a default-constructed element and return it, letting the
+     * caller fill it in place (skips the extra whole-struct copy a
+     * build-then-push_back sequence pays for large T).
+     */
+    T &
+    emplace_back()
+    {
+        if (size_ == slots_.size())
+            grow();
+        T &slot = slots_[(head_ + size_) & mask()];
+        slot = T{}; // the slot may hold a stale popped value
+        ++size_;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(empty(), "RingWindow pop_front() on empty ring");
+        // The stale slot is left as-is: push_back whole-assigns a slot
+        // before it is ever read again, and the window's element type
+        // owns no resources worth releasing eagerly.
+        head_ = (head_ + 1) & mask();
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            slots_[(head_ + i) & mask()] = T{};
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(slots_[(head_ + i) & mask()]);
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_RING_WINDOW_HH

@@ -147,6 +147,18 @@ struct ProcessorConfig
 
     /** Deadlock watchdog: panic after this many commit-free cycles. */
     std::uint64_t watchdog_cycles = 1'000'000;
+
+    /**
+     * Event-driven quiescence skipping: when a tick makes no forward
+     * progress (deep in a miss shadow with every structure stalled),
+     * jump the clock to the next scheduled wakeup instead of ticking
+     * idle cycles one by one. Cycle-exact by construction — per-cycle
+     * stall-attribution counters are replayed for the skipped span —
+     * and verified byte-identical by tests/test_skip_ahead.cc. Runs
+     * with a per-cycle sampler or a nonzero snoop_rate never skip
+     * regardless of this flag.
+     */
+    bool skip_ahead = true;
 };
 
 /** The Figure 6 named configurations. */

@@ -183,13 +183,15 @@ Processor::fetch()
         isa::Uop u;
         if (!stream_.next(u)) {
             stream_done_ = true;
+            tick_progress_ = true;
             break;
         }
         panic_if(u.seq != window_base_ + window_.size(),
                  "stream seq %llu out of order",
                  static_cast<unsigned long long>(u.seq));
 
-        DynUop d;
+        DynUop &d = window_.emplace_back();
+        sleep_lane_.push_back(0);
         d.uop = u;
         if (u.isBranch()) {
             const bool pred = bpred_->predict(u.pc);
@@ -197,9 +199,9 @@ Processor::fetch()
             d.mispredicted = pred != u.taken;
             d.branch_counted = true;
         }
-        window_.push_back(std::move(d));
+        tick_progress_ = true;
 
-        if (window_.back().mispredicted) {
+        if (d.mispredicted) {
             // Fetch stalls at a mispredicted branch until it resolves
             // (trace-driven: the wrong path contributes no useful work).
             fetch_block_branch_ = u.seq;
@@ -289,6 +291,8 @@ Processor::enterSlice(DynUop &d, bool from_scheduler)
     }
     d.state = UopState::kInSlice;
     d.poisoned = true;
+    unlinkWaiter(d);
+    wakeWaiters(d);
     DTRACE(kSlice, "cycle %llu: drain to SDB: %s",
            (unsigned long long)now_, d.uop.toString().c_str());
 
@@ -301,8 +305,8 @@ Processor::enterSlice(DynUop &d, bool from_scheduler)
         }
     }
     if (d.uop.isStore() && d.in_stq) {
-        if (auto *e = stq_->find(d.uop.seq))
-            e->poisoned = true;
+        if (stq_->find(d.uop.seq))
+            stq_->markPoisoned(d.uop.seq);
     }
     if (d.uop.hasDst())
         rename_[d.uop.dst].poisoned = true;
@@ -402,6 +406,9 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
         }
         const CheckpointId nid =
             ckpts_.create(d.uop.seq, rename_.snapshot());
+        // The checkpoint exists even if a later resource check fails
+        // this cycle: the tick changed state and cannot be skipped.
+        tick_progress_ = true;
         DTRACE(kCheckpoint, "cycle %llu: open checkpoint %u at seq %llu",
                (unsigned long long)now_, nid,
                (unsigned long long)d.uop.seq);
@@ -515,8 +522,10 @@ Processor::allocate()
     unsigned budget = config_.alloc_width;
 
     // Slice re-insertion first: SDB entries are the oldest work.
-    while (budget > 0 && tryReinsertSliceHead())
+    while (budget > 0 && tryReinsertSliceHead()) {
         --budget;
+        tick_progress_ = true;
+    }
 
     // Then new uops, in order.
     while (budget > 0 && alloc_index_ < window_.size()) {
@@ -529,6 +538,7 @@ Processor::allocate()
             break;
         ++alloc_index_;
         --budget;
+        tick_progress_ = true;
     }
 }
 
@@ -685,6 +695,7 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
     if (lr.level == memsys::ServiceLevel::kMemory) {
         d.pending_mem_miss = true;
         d.poisoned = true;
+        wakeWaiters(d);
         if (d.uop.hasDst())
             rename_[d.uop.dst].poisoned = true;
         ++outstanding_mem_misses_;
@@ -764,6 +775,122 @@ Processor::tryIssue(DynUop &d)
     return true;
 }
 
+// --------------------------------------------------------------------
+// Scheduler sleep/wakeup
+//
+// A scheduler entry whose sources are not ready would be re-checked by
+// every issue scan until a producer completes. Instead it goes to
+// sleep, linked into an intrusive LIFO chain on each incomplete
+// producer, and is woken when one of them completes or becomes
+// poisoned — the only transitions that can change its scan outcome.
+// Waking only clears the sleep flag; the entry is re-evaluated at its
+// usual position in the next scan pass, so issue selection order (and
+// therefore timing) is exactly that of the full per-cycle scan.
+// --------------------------------------------------------------------
+
+void
+Processor::sleepSchedEntry(DynUop &d)
+{
+    const SeqNum prods[3] = {d.src1_prod, d.src2_prod, d.memdep_prod};
+    bool linked = false;
+    for (unsigned slot = 0; slot < 3; ++slot) {
+        if (d.wait_linked[slot]) {
+            // Still chained to this producer from an earlier sleep.
+            linked = true;
+            continue;
+        }
+        const SeqNum prod = prods[slot];
+        if (prod == kInvalidSeqNum)
+            continue;
+        DynUop *p = find(prod);
+        if (!p || p->completed())
+            continue;
+        d.wait_linked[slot] = true;
+        d.wait_next[slot] = p->first_waiter;
+        d.wait_next_slot[slot] = p->first_waiter_slot;
+        p->first_waiter = d.uop.seq;
+        p->first_waiter_slot = static_cast<std::uint8_t>(slot);
+        linked = true;
+    }
+    // No link could mean every producer completed between the
+    // readiness check and here; stay awake and let the scan retry.
+    d.sched_sleep = linked;
+    sleep_lane_[d.uop.seq - window_base_] = linked ? 1 : 0;
+}
+
+void
+Processor::wakeWaiters(DynUop &p)
+{
+    SeqNum cur = p.first_waiter;
+    std::uint8_t slot = p.first_waiter_slot;
+    p.first_waiter = kInvalidSeqNum;
+    p.first_waiter_slot = 0;
+    while (cur != kInvalidSeqNum) {
+        DynUop *w = find(cur);
+        panic_if(!w, "waiter %llu left the window before its producer",
+                 static_cast<unsigned long long>(cur));
+        const SeqNum next = w->wait_next[slot];
+        const std::uint8_t next_slot = w->wait_next_slot[slot];
+        w->wait_linked[slot] = false;
+        w->wait_next[slot] = kInvalidSeqNum;
+        w->sched_sleep = false;
+        sleep_lane_[cur - window_base_] = 0;
+        cur = next;
+        slot = next_slot;
+    }
+}
+
+void
+Processor::unlinkWaiter(DynUop &w)
+{
+    // Excise w from every producer chain it is still linked into (it
+    // is leaving the scheduler through a path other than issue, e.g.
+    // a slice drain, and its link storage is about to be reused).
+    const SeqNum prods[3] = {w.src1_prod, w.src2_prod, w.memdep_prod};
+    for (unsigned slot = 0; slot < 3; ++slot) {
+        if (!w.wait_linked[slot])
+            continue;
+        w.wait_linked[slot] = false;
+        DynUop *p = find(prods[slot]);
+        if (!p) {
+            w.wait_next[slot] = kInvalidSeqNum;
+            continue;
+        }
+        SeqNum *link_seq = &p->first_waiter;
+        std::uint8_t *link_slot = &p->first_waiter_slot;
+        while (*link_seq != kInvalidSeqNum &&
+               !(*link_seq == w.uop.seq && *link_slot == slot)) {
+            DynUop *n = find(*link_seq);
+            const std::uint8_t s = *link_slot;
+            link_seq = &n->wait_next[s];
+            link_slot = &n->wait_next_slot[s];
+        }
+        if (*link_seq != kInvalidSeqNum) {
+            *link_seq = w.wait_next[slot];
+            *link_slot = w.wait_next_slot[slot];
+        }
+        w.wait_next[slot] = kInvalidSeqNum;
+    }
+    w.sched_sleep = false;
+    sleep_lane_[w.uop.seq - window_base_] = 0;
+}
+
+void
+Processor::resetWakeState()
+{
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+        DynUop &d = window_[i];
+        d.sched_sleep = false;
+        sleep_lane_[i] = 0;
+        d.first_waiter = kInvalidSeqNum;
+        d.first_waiter_slot = 0;
+        for (unsigned s = 0; s < 3; ++s) {
+            d.wait_linked[s] = false;
+            d.wait_next[s] = kInvalidSeqNum;
+        }
+    }
+}
+
 void
 Processor::issue()
 {
@@ -777,21 +904,29 @@ Processor::issue()
     for (unsigned cls = 0; cls < 3 && budget > 0; ++cls) {
         auto &list = sched_[cls];
         for (std::size_t i = 0; i < list.size() && budget > 0;) {
+            if (sleep_lane_[list[i] - window_base_]) {
+                // Known-blocked: nothing it waits on has completed or
+                // been poisoned since it went to sleep. The dense lane
+                // answers without touching the uop itself.
+                ++i;
+                continue;
+            }
             DynUop *d = find(list[i]);
             panic_if(!d || d->state != UopState::kInScheduler,
                      "scheduler holds stale uop");
-
             if (sourcesPoisoned(*d)) {
                 // Miss-dependent: drain into the slice, freeing the
                 // slot (this is the CFP resource-release mechanism).
                 if (!sdb_.full()) {
                     enterSlice(*d, true);
+                    tick_progress_ = true;
                     continue; // entry removed; same index is next
                 }
                 ++i;
                 continue;
             }
             if (!sourcesReady(*d)) {
+                sleepSchedEntry(*d);
                 ++i;
                 continue;
             }
@@ -823,6 +958,11 @@ Processor::issue()
                 continue;
             }
 
+            // Even a failed issue attempt is progress: routeLoad
+            // touches the cache hierarchy, prefetcher, CAM counters,
+            // and per-cycle probe events (e.g. kLcfHit) on its retry
+            // paths, so these cycles must be executed for real.
+            tick_progress_ = true;
             const std::uint64_t epoch = rollback_epoch_;
             if (!tryIssue(*d)) {
                 ++i;
@@ -870,6 +1010,7 @@ Processor::processEvents()
     while (!events_.empty() && events_.top().cycle <= now_) {
         const Event ev = events_.top();
         events_.pop();
+        tick_progress_ = true;
         DynUop *d = find(ev.seq);
         if (!d || d->generation != ev.generation ||
             d->state != UopState::kIssued)
@@ -885,6 +1026,7 @@ Processor::completeUop(DynUop &d)
     d.complete_cycle = now_;
     releaseRegister(d);
     ckpts_.completed(d.ckpt);
+    wakeWaiters(d);
 
     if (d.uop.isLoad()) {
         completeLoad(d);
@@ -930,7 +1072,7 @@ Processor::completeStore(DynUop &d)
     // Record address and data in whichever store queue holds the
     // entry; a store that already left the L1 STQ with a reserved SRL
     // slot fills that slot by index instead (no search involved).
-    lsq::StoreQueueEntry *e = stq_->find(d.uop.seq);
+    const lsq::StoreQueueEntry *e = stq_->find(d.uop.seq);
     bool in_l2 = false;
     if (!e && l2_stq_) {
         e = l2_stq_->find(d.uop.seq);
@@ -939,12 +1081,9 @@ Processor::completeStore(DynUop &d)
     if (e) {
         if (in_l2 && !e->addr_valid)
             mtb_->increment(d.uop.effAddr);
-        e->addr = d.uop.effAddr;
-        e->size = d.uop.memSize;
-        e->data = d.uop.storeData;
-        e->addr_valid = true;
-        e->data_valid = true;
-        e->poisoned = false;
+        (in_l2 ? *l2_stq_ : *stq_)
+            .writeAddrData(d.uop.seq, d.uop.effAddr, d.uop.memSize,
+                           d.uop.storeData);
     } else {
         panic_if(!d.srl_slot_reserved,
                  "completing store %llu has no store queue entry and "
@@ -975,6 +1114,10 @@ Processor::drainStoreToCache(const SeqNum seq, CheckpointId ckpt,
                              Addr addr, std::uint8_t size,
                              std::uint64_t data)
 {
+    // Even a refused drain (single-version conflict below) has already
+    // touched cache state: never treat this path as quiescent.
+    tick_progress_ = true;
+
     const Addr line = hier_->l1().lineAddr(addr);
 
     // D$-temporary-update mode: a redo drain to a line holding a
@@ -1045,6 +1188,7 @@ Processor::displaceToL2()
         const lsq::StoreQueueEntry &h = stq_->head();
         if (!h.addr_valid && !h.poisoned)
             break; // un-executed store: nothing to displace yet
+        tick_progress_ = true;
         lsq::StoreQueueEntry e = stq_->popHead();
         if (e.addr_valid)
             mtb_->increment(e.addr);
@@ -1163,6 +1307,7 @@ Processor::moveStqHeadToSrl()
         }
     }
 
+    tick_progress_ = true;
     stq_->popHead();
     d->in_stq = false;
     return true;
@@ -1241,11 +1386,13 @@ Processor::processPendingFills()
         DynUop *d = find(*it);
         if (!d || !d->srl_slot_reserved || !d->completed()) {
             it = pending_srl_fills_.erase(it); // squashed meanwhile
+            tick_progress_ = true;
             continue;
         }
         const lsq::SrlEntry *e = srl_->peekSlot(d->store_id.index);
         if (!e || e->seq != d->uop.seq || e->data_valid) {
             it = pending_srl_fills_.erase(it);
+            tick_progress_ = true;
             continue;
         }
         if (lcf_ &&
@@ -1256,6 +1403,7 @@ Processor::processPendingFills()
         srl_->fillDependent(d->store_id, d->uop.effAddr,
                             d->uop.memSize, d->uop.storeData);
         it = pending_srl_fills_.erase(it);
+        tick_progress_ = true;
     }
 }
 
@@ -1286,6 +1434,7 @@ Processor::commit()
 {
     while (ckpts_.oldestCommittable() &&
            undrained_[ckpts_.oldest().id] == 0) {
+        tick_progress_ = true;
         const cfp::Checkpoint c = ckpts_.commitOldest();
         DTRACE(kCommit,
                "cycle %llu: bulk commit checkpoint %u (%llu uops from "
@@ -1325,6 +1474,7 @@ Processor::commit()
                 store_sets_.storeRetired(d.uop.seq);
             }
             window_.pop_front();
+            sleep_lane_.pop_front();
             ++window_base_;
             panic_if(alloc_index_ == 0, "alloc index underflow");
             --alloc_index_;
@@ -1378,6 +1528,10 @@ void
 Processor::rollbackToCheckpoint(CheckpointId target)
 {
     ++rollback_epoch_;
+    tick_progress_ = true;
+    // Wholesale wakeup-state reset: squashed waiters would otherwise
+    // leave dangling chain links through surviving producers.
+    resetWakeState();
     DTRACE(kRollback, "cycle %llu: rollback to checkpoint %u",
            (unsigned long long)now_, target);
 
@@ -1536,6 +1690,7 @@ Processor::injectSnoop(Addr addr, unsigned size, std::uint64_t data)
 {
     DTRACE(kSnoop, "cycle %llu: external store %#llx size %u",
            (unsigned long long)now_, (unsigned long long)addr, size);
+    tick_progress_ = true;
     mem_->write(addr, size, data);
     hier_->snoopInvalidate(addr);
 
@@ -1557,6 +1712,7 @@ Processor::injectSnoop(Addr addr, unsigned size, std::uint64_t data)
 void
 Processor::tick()
 {
+    tick_progress_ = false;
     processEvents();
 
     if (slice_active_ && sdb_.empty())
@@ -1677,11 +1833,165 @@ Processor::done() const
     return stream_done_ && window_.empty();
 }
 
+// --------------------------------------------------------------------
+// Quiescence skip-ahead
+// --------------------------------------------------------------------
+
+bool
+Processor::canSkipIdle() const
+{
+    // A per-cycle sampler observes gauges every cycle, and the snoop
+    // source rolls its RNG every cycle: both make every cycle
+    // observable-distinct, so neither run may skip.
+    return config_.skip_ahead && !sampler_ && config_.snoop_rate <= 0.0;
+}
+
+Processor::IdleCounters
+Processor::captureIdleCounters() const
+{
+    IdleCounters c;
+    c.stall_ckpt = stats_.stall_ckpt;
+    c.stall_stq = stats_.stall_stq;
+    c.stall_lq = stats_.stall_lq;
+    c.stall_sdb = stats_.stall_sdb;
+    c.stall_sched = stats_.stall_sched;
+    c.stall_rf = stats_.stall_rf;
+    c.drain_block_head = stats_.drain_block_head;
+    c.drain_block_fence = stats_.drain_block_fence;
+    c.temp_update_stalls = stats_.temp_update_stalls;
+    c.ckpt_create_stalls = ckpts_.createStalls.value();
+    c.stq_alloc_fails = stq_->allocFails.value();
+    c.lcf_overflows = lcf_ ? lcf_->bloom().overflows.value() : 0;
+    c.srl_indexed_reads = srl_ ? srl_->indexedReads.value() : 0;
+    c.fence_drain_blocked = fence_.drainBlocked.value();
+    c.ss_accesses = store_sets_.accesses();
+    c.ss_predictions = store_sets_.predictions.value();
+    c.ss_deps = store_sets_.dependencesPredicted.value();
+    return c;
+}
+
+void
+Processor::skipQuiescentCycles(const IdleCounters &before,
+                               std::uint64_t max_cycles)
+{
+    // The tick just executed changed nothing but the stall counters
+    // snapshotted in @p before: until an external wakeup arrives the
+    // machine would repeat it verbatim. Find the earliest wakeup and
+    // replay the per-cycle counter deltas across the gap instead.
+    //
+    // Wakeup sources, all conservative (skipping less is always safe):
+    //  - the event heap (execution completions, miss returns);
+    //  - fetch_resume_ (branch redirect penalty elapsing);
+    //  - the commit watchdog (so a hang panics at the same cycle);
+    //  - the run() cycle limit;
+    //  - the store-sets periodic-clear boundary (its access counter
+    //    advances per replayed cycle and must not cross a clear).
+    Cycle wake = last_commit_cycle_ + config_.watchdog_cycles;
+    if (!events_.empty())
+        wake = std::min(wake, events_.top().cycle);
+    // <= not <: the quiescent tick ran at now_ - 1, so fetch_resume_ ==
+    // now_ means the redirect penalty expires on the very next tick.
+    if (now_ <= fetch_resume_ && fetch_block_branch_ == kInvalidSeqNum)
+        wake = std::min(wake, fetch_resume_);
+    wake = std::min<Cycle>(wake, max_cycles);
+    if (wake <= now_)
+        return;
+    std::uint64_t span = wake - now_;
+
+    const IdleCounters after = captureIdleCounters();
+    const std::uint64_t da = after.ss_accesses - before.ss_accesses;
+    if (da > 0) {
+        // Stay strictly below the next whole-table clear; the tick
+        // that crosses it must execute for real.
+        const std::uint64_t dist = store_sets_.accessesUntilClear();
+        span = std::min(span, (dist - 1) / da);
+        if (span == 0)
+            return;
+    }
+
+    const auto delta = [span](std::uint64_t a, std::uint64_t b) {
+        return (a - b) * span;
+    };
+    stats_.stall_ckpt += delta(after.stall_ckpt, before.stall_ckpt);
+    stats_.stall_stq += delta(after.stall_stq, before.stall_stq);
+    stats_.stall_lq += delta(after.stall_lq, before.stall_lq);
+    stats_.stall_sdb += delta(after.stall_sdb, before.stall_sdb);
+    stats_.stall_sched += delta(after.stall_sched, before.stall_sched);
+    stats_.stall_rf += delta(after.stall_rf, before.stall_rf);
+    stats_.drain_block_head +=
+        delta(after.drain_block_head, before.drain_block_head);
+    stats_.drain_block_fence +=
+        delta(after.drain_block_fence, before.drain_block_fence);
+    stats_.temp_update_stalls +=
+        delta(after.temp_update_stalls, before.temp_update_stalls);
+    ckpts_.createStalls +=
+        delta(after.ckpt_create_stalls, before.ckpt_create_stalls);
+    stq_->allocFails +=
+        delta(after.stq_alloc_fails, before.stq_alloc_fails);
+    if (lcf_)
+        lcf_->bloom().overflows +=
+            delta(after.lcf_overflows, before.lcf_overflows);
+    if (srl_)
+        srl_->indexedReads +=
+            delta(after.srl_indexed_reads, before.srl_indexed_reads);
+    fence_.drainBlocked +=
+        delta(after.fence_drain_blocked, before.fence_drain_blocked);
+    store_sets_.addIdleAccesses(
+        da * span, delta(after.ss_predictions, before.ss_predictions),
+        delta(after.ss_deps, before.ss_deps));
+    if (srl_)
+        srl_occupancy_.observe(srl_->size(), span);
+
+    now_ += span;
+    stats_.cycles += span;
+    stats_.skipped_cycles += span;
+}
+
 const ProcessorStats &
 Processor::run(std::uint64_t max_cycles)
 {
-    while (!done() && now_ < max_cycles)
+    if (!canSkipIdle()) {
+        while (!done() && now_ < max_cycles)
+            tick();
+        return stats_;
+    }
+    while (!done() && now_ < max_cycles) {
+        const IdleCounters before = captureIdleCounters();
         tick();
+#ifdef SRLSIM_SKIP_CHECK
+        if (!tick_progress_) {
+            Cycle wake = last_commit_cycle_ + config_.watchdog_cycles;
+            if (!events_.empty())
+                wake = std::min(wake, events_.top().cycle);
+            if (now_ <= fetch_resume_ &&
+                fetch_block_branch_ == kInvalidSeqNum)
+                wake = std::min(wake, fetch_resume_);
+            wake = std::min<Cycle>(wake, max_cycles);
+            while (!done() && now_ < max_cycles && !tick_progress_) {
+                const Cycle c = now_;
+                tick();
+                if (tick_progress_ && c < wake) {
+                    std::fprintf(
+                        stderr,
+                        "SKIPBUG: progress at cycle %llu, wake %llu "
+                        "(events %zu, fetch_resume %llu, blockbr %llu, "
+                        "win %zu alloc %zu stq %zu sdb %zu srl %zu)\n",
+                        (unsigned long long)c, (unsigned long long)wake,
+                        events_.size(),
+                        (unsigned long long)fetch_resume_,
+                        (unsigned long long)fetch_block_branch_,
+                        window_.size(), (std::size_t)alloc_index_,
+                        stq_->size(), sdb_.size(),
+                        srl_ ? srl_->size() : 0);
+                    std::abort();
+                }
+            }
+        }
+#else
+        if (!tick_progress_)
+            skipQuiescentCycles(before, max_cycles);
+#endif
+    }
     return stats_;
 }
 

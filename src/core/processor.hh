@@ -23,7 +23,6 @@
 #define SRLSIM_CORE_PROCESSOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -34,6 +33,7 @@
 #include "cfp/rename.hh"
 #include "cfp/sdb.hh"
 #include "common/random.hh"
+#include "common/ring_window.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/config.hh"
@@ -121,6 +121,20 @@ struct DynUop
 
     Cycle complete_cycle = kInvalidCycle;
 
+    // Scheduler sleep/wakeup bookkeeping (pure performance state: a
+    // blocked scheduler entry is skipped by the issue scan until a
+    // producer it sleeps on completes or becomes poisoned, which are
+    // the only transitions that can change its scan outcome). Links
+    // form one intrusive LIFO chain per producer, one slot per source
+    // operand (0 = src1, 1 = src2, 2 = memdep).
+    bool sched_sleep = false;
+    bool wait_linked[3] = {false, false, false};
+    SeqNum wait_next[3] = {kInvalidSeqNum, kInvalidSeqNum,
+                           kInvalidSeqNum};
+    std::uint8_t wait_next_slot[3] = {0, 0, 0};
+    SeqNum first_waiter = kInvalidSeqNum;
+    std::uint8_t first_waiter_slot = 0;
+
     bool completed() const { return state == UopState::kCompleted; }
 };
 
@@ -162,6 +176,14 @@ struct ProcessorStats
     std::uint64_t drain_block_fence = 0; ///< older load not yet executed
     std::uint64_t drain_block_line = 0;  ///< speculative-line conflict
 
+    /**
+     * Host-side diagnostic, not a model statistic: cycles the clock
+     * jumped over via quiescence skip-ahead (always 0 with skipping
+     * off). The only stats field allowed to differ between a skip-on
+     * and a skip-off run of the same workload.
+     */
+    std::uint64_t skipped_cycles = 0;
+
     double
     ipc() const
     {
@@ -184,10 +206,17 @@ class Processor
     /**
      * Run until the stream is exhausted and the window drains, or
      * until @p max_cycles elapse. @return final statistics.
+     *
+     * When config().skip_ahead allows it, quiescent stretches (ticks
+     * that make no forward progress — typically deep in a memory-miss
+     * shadow) are skipped event-driven: the clock jumps to the next
+     * scheduled wakeup and the per-cycle stall counters are replayed
+     * for the skipped span. Final state, statistics, and the probe
+     * event stream are byte-identical to ticking every cycle.
      */
     const ProcessorStats &run(std::uint64_t max_cycles = ~0ull);
 
-    /** Advance one cycle (exposed for fine-grained tests). */
+    /** Advance exactly one cycle (exposed for fine-grained tests). */
     void tick();
 
     /** True when the stream is done and the machine is empty. */
@@ -259,6 +288,12 @@ class Processor
     void issue();
     void fetch();
 
+    // ----- scheduler sleep/wakeup helpers -----
+    void sleepSchedEntry(DynUop &d);
+    void wakeWaiters(DynUop &p);
+    void unlinkWaiter(DynUop &w);
+    void resetWakeState();
+
     // ----- allocate helpers -----
     bool allocateOne(DynUop &d, bool reinsertion);
     bool resourcesFor(const DynUop &d, bool reinsertion) const;
@@ -307,6 +342,33 @@ class Processor
     void rollbackToCheckpoint(CheckpointId target);
     void beginRedoPhase();
 
+    // ----- quiescence skip-ahead -----
+    /**
+     * Snapshot of every counter a no-progress tick may bump. A
+     * quiescent machine repeats such a tick identically until the next
+     * wakeup, so run() replays the observed per-cycle deltas times the
+     * skipped span instead of executing the cycles. Any state change
+     * outside this set marks the tick as progress (tick_progress_) and
+     * disqualifies it from skipping.
+     */
+    struct IdleCounters
+    {
+        std::uint64_t stall_ckpt, stall_stq, stall_lq, stall_sdb,
+            stall_sched, stall_rf;
+        std::uint64_t drain_block_head, drain_block_fence;
+        std::uint64_t temp_update_stalls;
+        std::uint64_t ckpt_create_stalls;
+        std::uint64_t stq_alloc_fails;
+        std::uint64_t lcf_overflows;
+        std::uint64_t srl_indexed_reads;
+        std::uint64_t fence_drain_blocked;
+        std::uint64_t ss_accesses, ss_predictions, ss_deps;
+    };
+    bool canSkipIdle() const;
+    IdleCounters captureIdleCounters() const;
+    void skipQuiescentCycles(const IdleCounters &before,
+                             std::uint64_t max_cycles);
+
     // ----- window access -----
     DynUop *find(SeqNum seq);
     const DynUop *find(SeqNum seq) const;
@@ -350,8 +412,17 @@ class Processor
     lsq::OrderFence fence_;
     lsq::StoreIdAllocator store_ids_;
 
-    // In-flight window (replay buffer), indexed by seq - base.
-    std::deque<DynUop> window_;
+    // In-flight window (replay buffer), indexed by seq - base. A
+    // contiguous ring: every phase walks or indexes it each cycle, so
+    // the layout is the hottest data path in the model.
+    RingWindow<DynUop> window_;
+    /**
+     * Dense mirror of DynUop::sched_sleep, indexed like window_
+     * (i = seq - window_base_). The issue scan tests this byte lane
+     * instead of dereferencing a scattered ~300-byte DynUop per
+     * sleeping scheduler entry; it is updated wherever sched_sleep is.
+     */
+    RingWindow<std::uint8_t> sleep_lane_;
     SeqNum window_base_ = 0;
     std::size_t alloc_index_ = 0; ///< next window index to allocate
 
@@ -397,6 +468,9 @@ class Processor
 
     Cycle now_ = 0;
     Cycle last_commit_cycle_ = 0;
+
+    /** Did the current tick() change any state outside IdleCounters? */
+    bool tick_progress_ = false;
 
     // Observability (null unless a harness attaches them).
     obs::ProbeBus *probe_ = nullptr;

@@ -4,6 +4,7 @@
 #include "common/random.hh"
 
 #include "workload/prewarm.hh"
+#include "workload/stream_cache.hh"
 
 namespace srl
 {
@@ -62,11 +63,15 @@ runOne(const ProcessorConfig &config,
        const workload::SuiteProfile &suite, std::uint64_t num_uops,
        std::uint64_t seed_override, const obs::ObsConfig &obs)
 {
-    workload::Generator gen(suite, num_uops, seed_override);
+    // The stream comes from the workload cache when
+    // SRLSIM_WORKLOAD_CACHE is set (CI does); otherwise it is generated
+    // inline. Identical either way — the cache just memoizes expansion.
+    const auto gen =
+        workload::openStreamEnv(suite, num_uops, seed_override);
     ProcessorConfig cfg = config;
     if (seed_override)
         cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
-    Processor cpu(cfg, gen);
+    Processor cpu(cfg, *gen);
 
     // Warmed-cache methodology: pre-fill the suite's cache-resident
     // regions so compulsory misses do not swamp the phase behavior the
@@ -87,7 +92,12 @@ runOne(const ProcessorConfig &config,
         rec->meta["seed"] = std::to_string(seed_override);
         bus.attach(&rec->ring);
         cpu.attachProbeBus(&bus);
-        cpu.attachSampler(&rec->sampler);
+        // A periodic sampler observes the machine every cycle, which
+        // forces the model to tick every cycle (no quiescence skip).
+        // Only attach one when sampling is actually requested, so
+        // probe-only traced runs keep the fast path.
+        if (obs.sample_every > 0)
+            cpu.attachSampler(&rec->sampler);
     }
 
     const ProcessorStats &s = cpu.run();

@@ -21,27 +21,64 @@ SpeculativeMemory::write(SeqNum seq, CheckpointId ckpt, Addr addr,
     applyToOverlay(e);
 }
 
+SpeculativeMemory::OverlayPage &
+SpeculativeMemory::touchPage(Addr addr)
+{
+    const Addr idx = addr >> kPageShift;
+    if (idx == last_idx_ && last_page_)
+        return *last_page_;
+    auto &slot = overlay_[idx];
+    if (!slot)
+        slot = std::make_unique<OverlayPage>();
+    last_idx_ = idx;
+    last_page_ = slot.get();
+    return *slot;
+}
+
+const SpeculativeMemory::OverlayPage *
+SpeculativeMemory::findPage(Addr addr) const
+{
+    const Addr idx = addr >> kPageShift;
+    if (idx == last_idx_)
+        return last_page_;
+    const auto it = overlay_.find(idx);
+    last_idx_ = idx;
+    last_page_ = it == overlay_.end() ? nullptr : it->second.get();
+    return last_page_;
+}
+
 void
 SpeculativeMemory::applyToOverlay(const LogEntry &e)
 {
     for (unsigned i = 0; i < e.size; ++i) {
-        OverlayByte &b = overlay_[e.addr + i];
-        b.value = static_cast<std::uint8_t>(e.data >> (8 * i));
-        ++b.writers;
+        const Addr a = e.addr + i;
+        OverlayPage &page = touchPage(a);
+        const std::size_t off = a & (kPageBytes - 1);
+        page.value[off] = static_cast<std::uint8_t>(e.data >> (8 * i));
+        if (page.writers[off]++ == 0)
+            ++overlay_bytes_;
     }
 }
 
 std::uint64_t
 SpeculativeMemory::read(Addr addr, unsigned size) const
 {
-    std::uint64_t value = 0;
+    // Read the committed image once for the whole span, then patch in
+    // any overlay bytes (equivalent to the per-byte overlay-first read,
+    // since overlay bytes simply shadow committed ones).
+    std::uint64_t value = mem_.read(addr, size);
+    if (overlay_bytes_ == 0)
+        return value;
     for (unsigned i = 0; i < size; ++i) {
-        const auto it = overlay_.find(addr + i);
-        const std::uint8_t byte =
-            it != overlay_.end()
-                ? it->second.value
-                : static_cast<std::uint8_t>(mem_.read(addr + i, 1));
-        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+        const Addr a = addr + i;
+        const OverlayPage *page = findPage(a);
+        if (!page)
+            continue;
+        const std::size_t off = a & (kPageBytes - 1);
+        if (page->writers[off] == 0)
+            continue;
+        value &= ~(static_cast<std::uint64_t>(0xff) << (8 * i));
+        value |= static_cast<std::uint64_t>(page->value[off]) << (8 * i);
     }
     return value;
 }
@@ -53,22 +90,29 @@ SpeculativeMemory::commitCheckpoint(CheckpointId ckpt)
         const LogEntry &e = log_.front();
         mem_.write(e.addr, e.size, e.data);
         for (unsigned i = 0; i < e.size; ++i) {
-            const auto it = overlay_.find(e.addr + i);
-            panic_if(it == overlay_.end(),
+            const Addr a = e.addr + i;
+            OverlayPage &page = touchPage(a);
+            const std::size_t off = a & (kPageBytes - 1);
+            panic_if(page.writers[off] == 0,
                      "overlay byte missing at commit");
-            if (--it->second.writers == 0)
-                overlay_.erase(it);
+            if (--page.writers[off] == 0)
+                --overlay_bytes_;
+            // Fully-quiesced pages stay allocated for reuse; a
+            // rollback's rebuild drops them wholesale.
         }
         log_.pop_front();
     }
     // Sanity: no entry of this checkpoint may remain deeper in the log
     // (drains are program-ordered, so a checkpoint's stores are always
-    // a prefix at its commit).
+    // a prefix at its commit). The scan is O(pending stores) per commit
+    // — debug builds only.
+#ifndef NDEBUG
     for (const auto &e : log_) {
         panic_if(e.ckpt == ckpt,
                  "committed checkpoint %u still has buried drained "
                  "stores", ckpt);
     }
+#endif
 }
 
 void
@@ -87,6 +131,9 @@ void
 SpeculativeMemory::rebuildOverlay()
 {
     overlay_.clear();
+    overlay_bytes_ = 0;
+    last_idx_ = ~static_cast<Addr>(0);
+    last_page_ = nullptr;
     for (const auto &e : log_)
         applyToOverlay(e);
 }

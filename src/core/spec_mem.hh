@@ -24,8 +24,10 @@
 #ifndef SRLSIM_CORE_SPEC_MEM_HH
 #define SRLSIM_CORE_SPEC_MEM_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -69,19 +71,34 @@ class SpeculativeMemory
         std::uint64_t data;
     };
 
-    /** Overlay: byte address -> (value, writer count). */
-    struct OverlayByte
+    /**
+     * Overlay shadow page: per-byte value and writer count (writers ==
+     * 0 means the byte is not overlaid). Page-granular arrays replace
+     * a per-byte hash map so drain/commit/read touch bytes with plain
+     * indexing — the hash cost is paid once per page, and a one-entry
+     * page cache absorbs the typical access locality.
+     */
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::size_t kPageBytes = 1ull << kPageShift;
+
+    struct OverlayPage
     {
-        std::uint8_t value = 0;
-        unsigned writers = 0;
+        std::array<std::uint8_t, kPageBytes> value{};
+        std::array<std::uint32_t, kPageBytes> writers{};
     };
+
+    OverlayPage &touchPage(Addr addr);
+    const OverlayPage *findPage(Addr addr) const;
 
     void applyToOverlay(const LogEntry &e);
     void rebuildOverlay();
 
     memsys::MainMemory &mem_;
     std::deque<LogEntry> log_; ///< program order, oldest first
-    std::unordered_map<Addr, OverlayByte> overlay_;
+    std::unordered_map<Addr, std::unique_ptr<OverlayPage>> overlay_;
+    std::size_t overlay_bytes_ = 0; ///< total bytes with writers > 0
+    mutable Addr last_idx_ = ~static_cast<Addr>(0);
+    mutable OverlayPage *last_page_ = nullptr;
 };
 
 } // namespace core

@@ -70,19 +70,21 @@ class CountingBloom
     /**
      * Increment the counter for @p addr.
      * @return false (and change nothing) on counter saturation.
+     *
+     * Branch-free on the hot path: saturation and the zero->nonzero
+     * transition are folded into arithmetic (a saturated counter
+     * cannot be zero, since counter_max_ >= 1), so the only branches
+     * left are the hash-scheme switch and the caller's result check.
      */
     bool
     increment(Addr addr)
     {
         auto &c = counters_[index(addr)];
-        if (c >= counter_max_) {
-            ++overflows;
-            return false;
-        }
-        if (c == 0)
-            ++nonzero_;
-        ++c;
-        return true;
+        const unsigned saturated = c >= counter_max_ ? 1u : 0u;
+        overflows += saturated;
+        nonzero_ += c == 0 ? 1u : 0u;
+        c = static_cast<std::uint16_t>(c + 1u - saturated);
+        return saturated == 0;
     }
 
     /** Decrement the counter for @p addr. @pre counter > 0 */
@@ -92,8 +94,7 @@ class CountingBloom
         auto &c = counters_[index(addr)];
         panic_if(c == 0, "counting bloom decrement below zero");
         --c;
-        if (c == 0)
-            --nonzero_;
+        nonzero_ -= c == 0 ? 1u : 0u;
     }
 
     /** Counter value for @p addr. Zero guarantees no member hashes here. */

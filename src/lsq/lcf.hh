@@ -122,6 +122,7 @@ class LooseCheckFilter
     }
 
     const CountingBloom &bloom() const { return bloom_; }
+    CountingBloom &bloom() { return bloom_; }
 
     mutable stats::Scalar checks;
     mutable stats::Scalar hits;

@@ -1,5 +1,7 @@
 #include "lsq/load_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace srl
@@ -27,21 +29,29 @@ LoadQueue::allocate(SeqNum seq, CheckpointId ckpt)
     entries_.push_back(e);
 }
 
+auto
+LoadQueue::lowerBound(SeqNum seq) -> std::deque<Entry>::iterator
+{
+    // Entries are allocated in program order, so seq is sorted
+    // ascending and lookups can binary-search.
+    return std::lower_bound(entries_.begin(), entries_.end(), seq,
+                            [](const Entry &e, SeqNum s) {
+                                return e.seq < s;
+                            });
+}
+
 void
 LoadQueue::executed(SeqNum seq, Addr addr, std::uint8_t size,
                     SeqNum fwd_store_seq)
 {
-    for (auto &e : entries_) {
-        if (e.seq == seq) {
-            e.addr = addr;
-            e.size = size;
-            e.fwd_store_seq = fwd_store_seq;
-            e.executed = true;
-            return;
-        }
-    }
-    panic("load queue executed() for absent load %llu",
-          static_cast<unsigned long long>(seq));
+    const auto it = lowerBound(seq);
+    panic_if(it == entries_.end() || it->seq != seq,
+             "load queue executed() for absent load %llu",
+             static_cast<unsigned long long>(seq));
+    it->addr = addr;
+    it->size = size;
+    it->fwd_store_seq = fwd_store_seq;
+    it->executed = true;
 }
 
 std::optional<LoadViolation>
@@ -49,8 +59,13 @@ LoadQueue::storeCheck(SeqNum store_seq, Addr addr, std::uint8_t size)
 {
     ++camSearches;
     camEntriesSearched += entries_.size();
-    for (const auto &e : entries_) { // oldest first
-        if (!e.executed || e.seq <= store_seq)
+    // Only loads younger than the store can violate; binary-search the
+    // scan start (the CAM activity charge above is unchanged: the
+    // modeled CAM still activates every entry).
+    for (auto it = lowerBound(store_seq + 1); it != entries_.end();
+         ++it) { // oldest first
+        const Entry &e = *it;
+        if (!e.executed)
             continue;
         if (!bytesOverlap(e.addr, e.size, addr, size))
             continue;

@@ -98,6 +98,9 @@ class LoadQueue
         bool executed = false;
     };
 
+    /** First entry with seq >= @p seq (entries are seq-sorted). */
+    std::deque<Entry>::iterator lowerBound(SeqNum seq);
+
     LoadQueueParams params_;
     std::deque<Entry> entries_; ///< oldest at front
 };

@@ -13,6 +13,34 @@ StoreQueue::StoreQueue(const StoreQueueParams &params) : params_(params)
 {
     fatal_if(params_.capacity == 0, "%s: capacity must be > 0",
              params_.name.c_str());
+    buf_.reserve(params_.capacity * 2);
+    scan_addr_.reserve(params_.capacity * 2);
+    scan_size_.reserve(params_.capacity * 2);
+}
+
+std::size_t
+StoreQueue::lowerBound(SeqNum seq) const
+{
+    // Entries are seq-sorted ascending, so the scan start is a binary
+    // search instead of a youngest-first walk over skipped entries.
+    std::size_t lo = head_, hi = buf_.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (buf_[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::size_t
+StoreQueue::indexOf(SeqNum seq) const
+{
+    const std::size_t i = lowerBound(seq);
+    if (i < buf_.size() && buf_[i].seq == seq)
+        return i;
+    return buf_.size();
 }
 
 void
@@ -28,12 +56,13 @@ StoreQueue::allocate(SeqNum seq, StoreId id, CheckpointId ckpt)
     // re-inserted from the SDB can be older than front-end stores that
     // allocated while it waited (paper Section 4.3: re-inserted stores
     // "re-allocate L1 STQ entries").
-    auto it = entries_.end();
-    while (it != entries_.begin() && std::prev(it)->seq > seq)
-        --it;
-    panic_if(it != entries_.begin() && std::prev(it)->seq == seq,
+    const std::size_t pos = lowerBound(seq);
+    panic_if(pos < buf_.size() && buf_[pos].seq == seq,
              "%s: duplicate store allocation", params_.name.c_str());
-    entries_.insert(it, e);
+    buf_.insert(buf_.begin() + static_cast<long>(pos), e);
+    scan_addr_.insert(scan_addr_.begin() + static_cast<long>(pos),
+                      kNoAddr);
+    scan_size_.insert(scan_size_.begin() + static_cast<long>(pos), 0);
 }
 
 void
@@ -41,33 +70,38 @@ StoreQueue::pushEntry(const StoreQueueEntry &entry)
 {
     panic_if(full(), "%s: pushEntry on full store queue",
              params_.name.c_str());
-    panic_if(!entries_.empty() && entries_.back().seq >= entry.seq,
+    panic_if(!empty() && buf_.back().seq >= entry.seq,
              "%s: pushEntry out of program order", params_.name.c_str());
-    entries_.push_back(entry);
+    buf_.push_back(entry);
+    scan_addr_.push_back(entry.addr_valid ? entry.addr : kNoAddr);
+    scan_size_.push_back(entry.size);
 }
 
 void
 StoreQueue::writeAddrData(SeqNum seq, Addr addr, std::uint8_t size,
                           std::uint64_t data)
 {
-    StoreQueueEntry *e = find(seq);
-    panic_if(!e, "%s: writeAddrData for absent store %llu",
+    const std::size_t i = indexOf(seq);
+    panic_if(i == buf_.size(), "%s: writeAddrData for absent store %llu",
              params_.name.c_str(), static_cast<unsigned long long>(seq));
-    e->addr = addr;
-    e->size = size;
-    e->data = data;
-    e->addr_valid = true;
-    e->data_valid = true;
-    e->poisoned = false;
+    StoreQueueEntry &e = buf_[i];
+    e.addr = addr;
+    e.size = size;
+    e.data = data;
+    e.addr_valid = true;
+    e.data_valid = true;
+    e.poisoned = false;
+    scan_addr_[i] = addr;
+    scan_size_[i] = size;
 }
 
 void
 StoreQueue::markPoisoned(SeqNum seq)
 {
-    StoreQueueEntry *e = find(seq);
-    panic_if(!e, "%s: markPoisoned for absent store %llu",
+    const std::size_t i = indexOf(seq);
+    panic_if(i == buf_.size(), "%s: markPoisoned for absent store %llu",
              params_.name.c_str(), static_cast<unsigned long long>(seq));
-    e->poisoned = true;
+    buf_[i].poisoned = true;
 }
 
 ForwardResult
@@ -77,20 +111,25 @@ StoreQueue::forward(SeqNum load_seq, Addr addr, std::uint8_t size) const
     ForwardResult result;
 
     // CAM: every older valid entry's comparators fire.
-    // Select: youngest matching store older than the load.
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        const StoreQueueEntry &e = *it;
-        if (e.seq >= load_seq)
-            continue;
-        ++entriesSearched;
-        if (!e.addr_valid) {
+    // Select: youngest matching store older than the load. The scan
+    // walks the address/size lanes only; the full entry is read at the
+    // match point. Entries younger than the load never activated their
+    // comparators in the original walk either, so the binary-searched
+    // start preserves the entriesSearched count exactly.
+    const std::size_t begin = lowerBound(load_seq);
+    std::uint64_t searched = 0;
+    for (std::size_t i = begin; i-- > head_;) {
+        ++searched;
+        const Addr ea = scan_addr_[i];
+        if (ea == kNoAddr) {
             // Unknown address: a conventional OoO design lets the load
             // speculate past it (the memory dependence predictor and
             // load queue catch mistakes), so keep searching.
             continue;
         }
-        if (!bytesOverlap(e.addr, e.size, addr, size))
+        if (!bytesOverlap(ea, scan_size_[i], addr, size))
             continue;
+        const StoreQueueEntry &e = buf_[i];
         if (e.data_valid && !e.poisoned &&
             bytesCover(e.addr, e.size, addr, size)) {
             result.outcome = ForwardOutcome::kForward;
@@ -111,36 +150,51 @@ StoreQueue::forward(SeqNum load_seq, Addr addr, std::uint8_t size) const
             result.store_id = e.id;
             ++blocks;
         }
+        entriesSearched += searched;
         return result;
     }
+    entriesSearched += searched;
     return result;
 }
 
-StoreQueueEntry *
-StoreQueue::find(SeqNum seq)
+const StoreQueueEntry *
+StoreQueue::find(SeqNum seq) const
 {
-    for (auto &e : entries_) {
-        if (e.seq == seq)
-            return &e;
-    }
-    return nullptr;
+    const std::size_t i = indexOf(seq);
+    return i == buf_.size() ? nullptr : &buf_[i];
 }
 
 const StoreQueueEntry &
 StoreQueue::head() const
 {
-    panic_if(entries_.empty(), "%s: head() on empty store queue",
+    panic_if(empty(), "%s: head() on empty store queue",
              params_.name.c_str());
-    return entries_.front();
+    return buf_[head_];
+}
+
+void
+StoreQueue::compactHead()
+{
+    // Amortized O(1) pop_front: reclaim the dead prefix only once it
+    // dominates the allocation.
+    if (head_ >= 64 && head_ * 2 >= buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(head_));
+        scan_addr_.erase(scan_addr_.begin(),
+                         scan_addr_.begin() + static_cast<long>(head_));
+        scan_size_.erase(scan_size_.begin(),
+                         scan_size_.begin() + static_cast<long>(head_));
+        head_ = 0;
+    }
 }
 
 StoreQueueEntry
 StoreQueue::popHead()
 {
-    panic_if(entries_.empty(), "%s: popHead() on empty store queue",
+    panic_if(empty(), "%s: popHead() on empty store queue",
              params_.name.c_str());
-    StoreQueueEntry e = entries_.front();
-    entries_.pop_front();
+    StoreQueueEntry e = buf_[head_];
+    ++head_;
+    compactHead();
     return e;
 }
 
@@ -148,9 +202,11 @@ std::vector<StoreQueueEntry>
 StoreQueue::squashAfter(SeqNum seq)
 {
     std::vector<StoreQueueEntry> removed;
-    while (!entries_.empty() && entries_.back().seq > seq) {
-        removed.push_back(entries_.back());
-        entries_.pop_back();
+    while (!empty() && buf_.back().seq > seq) {
+        removed.push_back(buf_.back());
+        buf_.pop_back();
+        scan_addr_.pop_back();
+        scan_size_.pop_back();
     }
     return removed;
 }
@@ -159,8 +215,17 @@ void
 StoreQueue::forEach(
     const std::function<void(const StoreQueueEntry &)> &fn) const
 {
-    for (const auto &e : entries_)
-        fn(e);
+    for (std::size_t i = head_; i < buf_.size(); ++i)
+        fn(buf_[i]);
+}
+
+void
+StoreQueue::clear()
+{
+    buf_.clear();
+    scan_addr_.clear();
+    scan_size_.clear();
+    head_ = 0;
 }
 
 } // namespace lsq

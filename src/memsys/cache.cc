@@ -102,6 +102,8 @@ Cache::access(Addr addr, bool is_write)
                              << line_shift_;
     }
 
+    if (victim->valid && victim->speculative)
+        --spec_lines_;
     victim->tag = tagOf(addr);
     victim->valid = true;
     victim->dirty = is_write;
@@ -136,6 +138,8 @@ void
 Cache::invalidate(Addr addr)
 {
     if (Line *line = findLine(addr)) {
+        if (line->speculative)
+            --spec_lines_;
         line->valid = false;
         line->dirty = false;
         line->speculative = false;
@@ -151,6 +155,8 @@ Cache::markSpeculative(Addr addr, CheckpointId ckpt)
              static_cast<unsigned long long>(addr));
     if (line->speculative && line->spec_ckpt != ckpt)
         return false; // single-version constraint: caller must stall
+    if (!line->speculative)
+        ++spec_lines_;
     line->speculative = true;
     line->spec_ckpt = ckpt;
     return true;
@@ -187,10 +193,16 @@ Cache::cleanLine(Addr addr)
 void
 Cache::commitCheckpoint(CheckpointId ckpt)
 {
+    // The common configurations (temporary updates in the forwarding
+    // cache, not the data cache) never mark lines speculative, so the
+    // bulk walk short-circuits on the live count.
+    if (spec_lines_ == 0)
+        return;
     for (Line &line : lines_) {
         if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
             line.speculative = false;
             line.spec_ckpt = kInvalidCheckpoint;
+            --spec_lines_;
         }
     }
 }
@@ -199,12 +211,15 @@ unsigned
 Cache::squashCheckpoint(CheckpointId ckpt)
 {
     unsigned discarded = 0;
+    if (spec_lines_ == 0)
+        return discarded;
     for (Line &line : lines_) {
         if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
             line.valid = false;
             line.dirty = false;
             line.speculative = false;
             line.spec_ckpt = kInvalidCheckpoint;
+            --spec_lines_;
             ++discarded;
         }
     }
@@ -215,6 +230,8 @@ unsigned
 Cache::squashAllSpeculative()
 {
     unsigned discarded = 0;
+    if (spec_lines_ == 0)
+        return discarded;
     for (Line &line : lines_) {
         if (line.valid && line.speculative) {
             line.valid = false;
@@ -224,6 +241,7 @@ Cache::squashAllSpeculative()
             ++discarded;
         }
     }
+    spec_lines_ = 0;
     return discarded;
 }
 

@@ -137,6 +137,13 @@ class Cache
     unsigned line_shift_;
     std::vector<Line> lines_; ///< num_sets_ x assoc, row-major
     std::uint64_t use_stamp_ = 0;
+    /**
+     * Count of currently speculative lines; lets the per-checkpoint
+     * bulk commit/squash walks short-circuit when no line is
+     * speculative (always, for configurations whose temporary updates
+     * bypass the data cache).
+     */
+    unsigned spec_lines_ = 0;
 };
 
 } // namespace memsys

@@ -10,18 +10,31 @@ namespace memsys
 const MainMemory::Page *
 MainMemory::findPage(Addr addr) const
 {
-    const auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    // One-entry page cache: accesses cluster heavily within a page,
+    // and Page storage is stable (unique_ptr payloads never move, and
+    // pages are never individually removed).
+    const Addr idx = addr >> kPageShift;
+    if (idx == last_idx_)
+        return last_page_;
+    const auto it = pages_.find(idx);
+    last_idx_ = idx;
+    last_page_ = it == pages_.end() ? nullptr : it->second.get();
+    return last_page_;
 }
 
 MainMemory::Page &
 MainMemory::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr >> kPageShift];
+    const Addr idx = addr >> kPageShift;
+    if (idx == last_idx_ && last_page_)
+        return *last_page_;
+    auto &slot = pages_[idx];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    last_idx_ = idx;
+    last_page_ = slot.get();
     return *slot;
 }
 
@@ -30,6 +43,17 @@ MainMemory::read(Addr addr, unsigned size) const
 {
     panic_if(size == 0 || size > 8, "bad memory read size %u", size);
     std::uint64_t value = 0;
+    if (((addr + size - 1) >> kPageShift) == (addr >> kPageShift)) {
+        // Whole access within one page: a single lookup.
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        const std::size_t off = addr & (kPageBytes - 1);
+        for (unsigned i = 0; i < size; ++i)
+            value |= static_cast<std::uint64_t>((*page)[off + i])
+                     << (8 * i);
+        return value;
+    }
     for (unsigned i = 0; i < size; ++i) {
         const Addr a = addr + i;
         const Page *page = findPage(a);
@@ -44,6 +68,13 @@ void
 MainMemory::write(Addr addr, unsigned size, std::uint64_t value)
 {
     panic_if(size == 0 || size > 8, "bad memory write size %u", size);
+    if (((addr + size - 1) >> kPageShift) == (addr >> kPageShift)) {
+        Page &page = touchPage(addr);
+        const std::size_t off = addr & (kPageBytes - 1);
+        for (unsigned i = 0; i < size; ++i)
+            page[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i) {
         const Addr a = addr + i;
         Page &page = touchPage(a);

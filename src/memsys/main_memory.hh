@@ -47,7 +47,13 @@ class MainMemory
     std::size_t pageCount() const { return pages_.size(); }
 
     /** Reset to the all-zero image. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        last_idx_ = ~static_cast<Addr>(0);
+        last_page_ = nullptr;
+    }
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;
@@ -56,6 +62,10 @@ class MainMemory
     Page &touchPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    // One-entry page cache (see findPage). A missing page is cached as
+    // nullptr, so touchPage must not trust a null hit.
+    mutable Addr last_idx_ = ~static_cast<Addr>(0);
+    mutable Page *last_page_ = nullptr;
 };
 
 } // namespace memsys

@@ -32,7 +32,26 @@ StoreSets::maybeClear()
     if (params_.clear_interval && accesses_ % params_.clear_interval == 0) {
         std::fill(ssit_.begin(), ssit_.end(), kNoSet);
         std::fill(lfst_.begin(), lfst_.end(), kInvalidSeqNum);
+        lfst_rev_.clear();
     }
+}
+
+void
+StoreSets::lfstWrite(unsigned slot, SeqNum seq)
+{
+    const SeqNum old = lfst_[slot];
+    if (old != kInvalidSeqNum) {
+        auto [it, end] = lfst_rev_.equal_range(old);
+        for (; it != end; ++it) {
+            if (it->second == slot) {
+                lfst_rev_.erase(it);
+                break;
+            }
+        }
+    }
+    lfst_[slot] = seq;
+    if (seq != kInvalidSeqNum)
+        lfst_rev_.emplace(seq, slot);
 }
 
 void
@@ -41,16 +60,18 @@ StoreSets::storeFetched(Addr pc, SeqNum seq)
     maybeClear();
     const std::uint16_t ssid = ssit_[ssitIndex(pc)];
     if (ssid != kNoSet)
-        lfst_[ssid % lfst_.size()] = seq;
+        lfstWrite(ssid % lfst_.size(), seq);
 }
 
 void
 StoreSets::storeRetired(SeqNum seq)
 {
-    for (auto &e : lfst_) {
-        if (e == seq)
-            e = kInvalidSeqNum;
-    }
+    // Clear every LFST slot still naming this store, located through
+    // the reverse index (equivalent to the naive full-table scan).
+    auto range = lfst_rev_.equal_range(seq);
+    for (auto it = range.first; it != range.second; ++it)
+        lfst_[it->second] = kInvalidSeqNum;
+    lfst_rev_.erase(range.first, range.second);
 }
 
 SeqNum

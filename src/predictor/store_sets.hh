@@ -21,6 +21,7 @@
 #define SRLSIM_PREDICTOR_STORE_SETS_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -71,6 +72,38 @@ class StoreSets
      */
     void trainViolation(Addr load_pc, Addr store_pc);
 
+    /** Accesses performed so far (drives the periodic-clear policy). */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /**
+     * Accesses left before the next periodic whole-table clear fires;
+     * ~0 when clearing is disabled. A caller replaying quiescent
+     * cycles must keep its replayed accesses strictly below this.
+     */
+    std::uint64_t
+    accessesUntilClear() const
+    {
+        if (!params_.clear_interval)
+            return ~0ull;
+        return params_.clear_interval -
+               accesses_ % params_.clear_interval;
+    }
+
+    /**
+     * Account @p n predictor accesses (@p preds predictions, @p deps
+     * of them with a dependence) made by replayed quiescent cycles
+     * without touching the tables. The replayed span must not reach a
+     * clear boundary — the caller clamps against accessesUntilClear().
+     */
+    void
+    addIdleAccesses(std::uint64_t n, std::uint64_t preds,
+                    std::uint64_t deps)
+    {
+        accesses_ += n;
+        predictions += preds;
+        dependencesPredicted += deps;
+    }
+
     stats::Scalar predictions;
     stats::Scalar dependencesPredicted;
     stats::Scalar violationsTrained;
@@ -79,9 +112,19 @@ class StoreSets
     unsigned ssitIndex(Addr pc) const;
     void maybeClear();
 
+    /** Write @p seq into LFST slot @p slot, keeping lfst_rev_ in sync. */
+    void lfstWrite(unsigned slot, SeqNum seq);
+
     StoreSetsParams params_;
     std::vector<std::uint16_t> ssit_;
     std::vector<SeqNum> lfst_;
+    /**
+     * Reverse index of lfst_: seq -> slots currently holding it.
+     * Retirement is then a hash lookup instead of a full LFST scan
+     * (storeRetired fires for every store leaving the window, almost
+     * none of which are still anyone's last-fetched store).
+     */
+    std::unordered_multimap<SeqNum, unsigned> lfst_rev_;
     std::uint16_t next_ssid_ = 0;
     std::uint64_t accesses_ = 0;
 };

@@ -1,0 +1,158 @@
+#include "workload/stream_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+namespace
+{
+
+static_assert(std::is_trivially_copyable_v<isa::Uop>,
+              "cached streams store raw Uop records");
+
+constexpr std::uint64_t kMagic = 0x53524c57'00000001ull; // "SRLW" v1
+
+struct FileHeader
+{
+    std::uint64_t magic = kMagic;
+    std::uint64_t record_size = sizeof(isa::Uop);
+    std::uint64_t count = 0;
+    std::uint64_t seed = 0;
+};
+
+/** Replays a fully loaded uop vector. */
+class VectorStream : public isa::UopStream
+{
+  public:
+    explicit VectorStream(std::vector<isa::Uop> uops)
+        : uops_(std::move(uops))
+    {
+    }
+
+    bool
+    next(isa::Uop &out) override
+    {
+        if (pos_ == uops_.size())
+            return false;
+        out = uops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<isa::Uop> uops_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+cachePath(const std::string &dir, const SuiteProfile &profile,
+          std::uint64_t max_uops, std::uint64_t seed_override)
+{
+    const std::uint64_t seed = seed_override ? seed_override
+                                             : profile.seed;
+    return dir + "/" + profile.name + "-" + std::to_string(seed) + "-" +
+           std::to_string(max_uops) + ".uops";
+}
+
+/** Load a cached stream; empty vector + false on any mismatch. */
+bool
+loadFile(const std::string &path, std::uint64_t expect_count,
+         std::uint64_t expect_seed, std::vector<isa::Uop> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    FileHeader h;
+    bool ok = std::fread(&h, sizeof(h), 1, f) == 1 &&
+              h.magic == kMagic && h.record_size == sizeof(isa::Uop) &&
+              h.count == expect_count && h.seed == expect_seed;
+    if (ok) {
+        out.resize(h.count);
+        ok = h.count == 0 ||
+             std::fread(out.data(), sizeof(isa::Uop), h.count, f) ==
+                 h.count;
+    }
+    std::fclose(f);
+    if (!ok)
+        out.clear();
+    return ok;
+}
+
+bool
+writeFile(const std::string &path, std::uint64_t seed,
+          const std::vector<isa::Uop> &uops)
+{
+    // Atomic publish: write a private temp file, then rename. Readers
+    // either see the complete file or none at all, so concurrent sweep
+    // workers filling the same entry race benignly (last rename wins,
+    // every rename has identical contents).
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    FileHeader h;
+    h.count = uops.size();
+    h.seed = seed;
+    bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1 &&
+              (uops.empty() ||
+               std::fwrite(uops.data(), sizeof(isa::Uop), uops.size(),
+                           f) == uops.size());
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+} // namespace
+
+std::unique_ptr<isa::UopStream>
+openStream(const SuiteProfile &profile, std::uint64_t max_uops,
+           std::uint64_t seed_override, const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return std::make_unique<Generator>(profile, max_uops,
+                                           seed_override);
+
+    const std::uint64_t seed = seed_override ? seed_override
+                                             : profile.seed;
+    const std::string path =
+        cachePath(cache_dir, profile, max_uops, seed_override);
+
+    std::vector<isa::Uop> uops;
+    if (loadFile(path, max_uops, seed, uops))
+        return std::make_unique<VectorStream>(std::move(uops));
+
+    Generator gen(profile, max_uops, seed_override);
+    uops.reserve(max_uops);
+    isa::Uop u;
+    while (gen.next(u))
+        uops.push_back(u);
+    // A short stream (generator ended early) is not cached: the header
+    // count doubles as the validity check and must equal the request.
+    if (uops.size() == max_uops)
+        writeFile(path, seed, uops);
+    return std::make_unique<VectorStream>(std::move(uops));
+}
+
+std::unique_ptr<isa::UopStream>
+openStreamEnv(const SuiteProfile &profile, std::uint64_t max_uops,
+              std::uint64_t seed_override)
+{
+    const char *dir = std::getenv("SRLSIM_WORKLOAD_CACHE");
+    return openStream(profile, max_uops, seed_override,
+                      dir ? dir : "");
+}
+
+} // namespace workload
+} // namespace srl

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * On-disk cache for generated uop streams.
+ *
+ * Workload generation is deterministic — a (profile, uops, seed)
+ * triple always expands to the identical uop sequence — so the
+ * expansion can be memoized to disk and replayed with a plain
+ * sequential read. A cached stream is a versioned binary file: a
+ * header recording the uop count and record size, followed by the raw
+ * `isa::Uop` array. The record size in the header guards against
+ * layout drift: a file written by a binary with a different Uop layout
+ * is silently regenerated, never misread.
+ *
+ * The cache is strictly an I/O-for-CPU trade and must be semantically
+ * invisible: a replayed stream is byte-for-byte the generator's
+ * output (pinned by test_workload). CI keys the cache directory on a
+ * hash of src/workload + src/isa so any generator change invalidates
+ * it wholesale.
+ */
+
+#ifndef SRLSIM_WORKLOAD_STREAM_CACHE_HH
+#define SRLSIM_WORKLOAD_STREAM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/uop.hh"
+#include "workload/profile.hh"
+
+namespace srl
+{
+namespace workload
+{
+
+/**
+ * Open the uop stream for (@p profile, @p max_uops, @p seed_override),
+ * memoized under @p cache_dir. On a hit the stream replays the cached
+ * file; on a miss it is generated, written atomically (temp file +
+ * rename, so concurrent sweep workers never observe a partial file),
+ * and then replayed. Any I/O or validation failure falls back to the
+ * plain generator — the cache can lose, never corrupt.
+ *
+ * An empty @p cache_dir bypasses the cache entirely and returns the
+ * generator itself.
+ */
+std::unique_ptr<isa::UopStream>
+openStream(const SuiteProfile &profile, std::uint64_t max_uops,
+           std::uint64_t seed_override, const std::string &cache_dir);
+
+/**
+ * Like openStream, with the cache directory taken from the
+ * SRLSIM_WORKLOAD_CACHE environment variable (unset/empty = no cache).
+ * This is the hook the simulation driver uses, so CI can enable
+ * caching without plumbing an option through every harness.
+ */
+std::unique_ptr<isa::UopStream>
+openStreamEnv(const SuiteProfile &profile, std::uint64_t max_uops,
+              std::uint64_t seed_override);
+
+} // namespace workload
+} // namespace srl
+
+#endif // SRLSIM_WORKLOAD_STREAM_CACHE_HH

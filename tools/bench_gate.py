@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Performance regression gate for the bench JSON summaries.
+
+Compares a freshly produced benchmark summary (bench binary run with
+--json-out, e.g. BENCH_fig6.json) against the committed baseline and
+fails when model throughput (uops_per_s) regressed by more than the
+allowed fraction. Wall-clock noise is expected on shared CI runners, so
+the default tolerance is deliberately loose (15%); the gate exists to
+catch order-of-magnitude accidents (a debug build sneaking into CI, an
+accidentally quadratic scan), not 2% jitter.
+
+Usage:
+    tools/bench_gate.py --fresh BENCH_fig6.json \
+        --baseline bench/baselines/BENCH_fig6.json [--max-regress 0.15]
+
+Exit status: 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("uops_per_s", "uops", "wall_s"):
+        if key not in data:
+            print(f"bench_gate: {path} missing '{key}'", file=sys.stderr)
+            sys.exit(2)
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="JSON summary from this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON summary")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="maximum allowed fractional throughput loss "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    if fresh["uops"] != base["uops"]:
+        print(f"bench_gate: workload mismatch: fresh simulated "
+              f"{fresh['uops']} uops, baseline {base['uops']} — "
+              f"refresh the baseline", file=sys.stderr)
+        sys.exit(2)
+
+    base_rate = float(base["uops_per_s"])
+    fresh_rate = float(fresh["uops_per_s"])
+    if base_rate <= 0:
+        print("bench_gate: baseline rate is zero", file=sys.stderr)
+        sys.exit(2)
+
+    ratio = fresh_rate / base_rate
+    verdict = "PASS" if ratio >= 1.0 - args.max_regress else "FAIL"
+    print(f"bench_gate: baseline {base_rate:,.0f} uops/s "
+          f"({base.get('commit', '?')[:12]}, {base.get('date', '?')}) "
+          f"-> fresh {fresh_rate:,.0f} uops/s "
+          f"({fresh.get('commit', '?')[:12]}): "
+          f"{(ratio - 1.0) * 100:+.1f}% [{verdict}, "
+          f"tolerance -{args.max_regress * 100:.0f}%]")
+    if verdict == "FAIL":
+        print("bench_gate: model throughput regressed beyond the "
+              "tolerance; investigate before merging (or refresh the "
+              "baseline if the slowdown is an accepted trade)",
+              file=sys.stderr)
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
