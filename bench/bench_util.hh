@@ -137,8 +137,11 @@ printTiming(const BenchTiming &t)
 
 /**
  * Write a self-describing JSON summary of a timed sweep, the input to
- * tools/bench_gate.py. The commit comes from $SRLSIM_COMMIT (CI sets
- * it from the checkout SHA); "unknown" outside CI.
+ * tools/bench_gate.py. The commit stamp is the source tree's HEAD,
+ * baked in at configure time (SRLSIM_GIT_HEAD), so a regenerated
+ * baseline records the commit that actually produced it; an explicit
+ * $SRLSIM_COMMIT overrides it, and "unknown" covers builds from
+ * outside a git checkout.
  */
 inline void
 writeBenchJson(const std::string &path, const char *bench,
@@ -150,6 +153,10 @@ writeBenchJson(const std::string &path, const char *bench,
         std::exit(1);
     }
     const char *commit = std::getenv("SRLSIM_COMMIT");
+#ifdef SRLSIM_GIT_HEAD
+    if (!commit)
+        commit = SRLSIM_GIT_HEAD;
+#endif
     char date[32] = "unknown";
     const std::time_t now = std::time(nullptr);
     std::tm tm_utc{};

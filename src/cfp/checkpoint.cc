@@ -1,5 +1,7 @@
 #include "cfp/checkpoint.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace srl
@@ -13,6 +15,7 @@ CheckpointManager::CheckpointManager(const CheckpointParams &params)
     fatal_if(params_.num_checkpoints == 0,
              "need at least one checkpoint");
     fatal_if(params_.max_interval == 0, "checkpoint interval must be > 0");
+    by_slot_.assign(params_.num_checkpoints, nullptr);
 }
 
 bool
@@ -37,17 +40,8 @@ CheckpointManager::create(SeqNum first_seq, const RenameMap &map)
 
     // Pick the smallest slot id not in use by a live checkpoint.
     CheckpointId slot = 0;
-    for (;; ++slot) {
-        bool used = false;
-        for (const auto &c : live_) {
-            if (c.id == slot) {
-                used = true;
-                break;
-            }
-        }
-        if (!used)
-            break;
-    }
+    while (by_slot_[slot])
+        ++slot;
 
     if (!live_.empty())
         live_.back().closed = true;
@@ -59,6 +53,7 @@ CheckpointManager::create(SeqNum first_seq, const RenameMap &map)
     c.forced_single = force_single_next_;
     force_single_next_ = false;
     live_.push_back(std::move(c));
+    by_slot_[slot] = &live_.back();
     ++created;
     return slot;
 }
@@ -74,16 +69,12 @@ CheckpointManager::allocated(SeqNum seq)
 void
 CheckpointManager::completed(CheckpointId id)
 {
-    for (auto &c : live_) {
-        if (c.id == id) {
-            ++c.completed;
-            panic_if(c.completed > c.allocated,
-                     "checkpoint %u completed more uops than allocated",
-                     id);
-            return;
-        }
-    }
-    panic("completion for non-live checkpoint %u", id);
+    Checkpoint *c =
+        id < by_slot_.size() ? by_slot_[id] : nullptr;
+    panic_if(!c, "completion for non-live checkpoint %u", id);
+    ++c->completed;
+    panic_if(c->completed > c->allocated,
+             "checkpoint %u completed more uops than allocated", id);
 }
 
 const Checkpoint &
@@ -103,11 +94,7 @@ CheckpointManager::oldest() const
 const Checkpoint *
 CheckpointManager::find(CheckpointId id) const
 {
-    for (const auto &c : live_) {
-        if (c.id == id)
-            return &c;
-    }
-    return nullptr;
+    return id < by_slot_.size() ? by_slot_[id] : nullptr;
 }
 
 bool
@@ -124,6 +111,7 @@ CheckpointManager::commitOldest()
 {
     panic_if(!oldestCommittable(), "commitOldest() not committable");
     Checkpoint c = std::move(live_.front());
+    by_slot_[c.id] = nullptr;
     live_.pop_front();
     ++committed;
     return c;
@@ -140,8 +128,10 @@ Checkpoint
 CheckpointManager::rollbackTo(CheckpointId id)
 {
     panic_if(!find(id), "rollback to non-live checkpoint %u", id);
-    while (!live_.empty() && live_.back().id != id)
+    while (!live_.empty() && live_.back().id != id) {
+        by_slot_[live_.back().id] = nullptr;
         live_.pop_back();
+    }
     panic_if(live_.empty(), "rollback lost target checkpoint");
 
     Checkpoint &c = live_.back();
@@ -164,6 +154,7 @@ void
 CheckpointManager::clear()
 {
     live_.clear();
+    std::fill(by_slot_.begin(), by_slot_.end(), nullptr);
     force_single_next_ = false;
 }
 

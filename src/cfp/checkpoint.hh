@@ -135,6 +135,13 @@ class CheckpointManager
   private:
     CheckpointParams params_;
     std::deque<Checkpoint> live_; ///< oldest at front
+    /**
+     * Slot id -> live checkpoint, for O(1) completion counting on the
+     * per-uop hot path. Deque references are stable under the only
+     * mutations used here (push_back, pop_front, pop_back), so the
+     * pointers stay valid for surviving checkpoints.
+     */
+    std::vector<Checkpoint *> by_slot_;
     CheckpointId next_slot_ = 0;
     bool force_single_next_ = false;
 };

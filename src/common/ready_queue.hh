@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ordered set of issuable scheduler entries, the storage behind the
+ * dependence-driven wakeup/select model (processor.cc "Scheduler
+ * sleep/wakeup").
+ *
+ * Each scheduler entry carries a monotonically increasing *ticket*
+ * assigned when it enters a scheduler list; the legacy issue scan
+ * visited entries in list order, and since lists only ever push at the
+ * back, ticket order *is* list order. The ready queue holds exactly
+ * the awake (not producer-blocked) entries of one scheduler class,
+ * ordered by ticket, so popping in ticket order reproduces the scan's
+ * selection order while touching only ready work.
+ *
+ * Storage is a sorted flat vector of 16-byte entries: the population
+ * is bounded by the scheduler class capacity (tens of entries), so
+ * binary search plus a memmove beats any node-based container, reuses
+ * its capacity steadily (no per-cycle allocation), and iterating with
+ * a ticket cursor survives arbitrary insert/erase during the walk —
+ * wakeups triggered mid-issue (a producer poisons and drains to the
+ * slice) land exactly where the legacy scan would have observed them.
+ */
+
+#ifndef SRLSIM_COMMON_READY_QUEUE_HH
+#define SRLSIM_COMMON_READY_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace srl
+{
+
+class ReadyQueue
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t ticket;
+        std::uint64_t seq;
+        bool operator<(const Entry &o) const { return ticket < o.ticket; }
+    };
+
+    /** Insert (idempotent: re-inserting a present ticket is a no-op). */
+    void
+    insert(std::uint64_t ticket, std::uint64_t seq)
+    {
+        // Fast path: wakeups overwhelmingly arrive in ticket order
+        // relative to the current tail (younger consumers sleep later).
+        if (v_.empty() || v_.back().ticket < ticket) {
+            v_.push_back(Entry{ticket, seq});
+            return;
+        }
+        const auto it = std::lower_bound(v_.begin(), v_.end(),
+                                         Entry{ticket, 0});
+        if (it != v_.end() && it->ticket == ticket)
+            return;
+        v_.insert(it, Entry{ticket, seq});
+    }
+
+    /** Erase by ticket; a no-op when absent (entry already asleep). */
+    void
+    erase(std::uint64_t ticket)
+    {
+        // The overwhelmingly common erase is of the entry the issue
+        // walk just visited (it issued or went to sleep); firstAfter
+        // remembers that position, saving the binary search.
+        if (visit_pos_ < v_.size() && v_[visit_pos_].ticket == ticket) {
+            v_.erase(v_.begin() + static_cast<std::ptrdiff_t>(visit_pos_));
+            return;
+        }
+        const auto it = std::lower_bound(v_.begin(), v_.end(),
+                                         Entry{ticket, 0});
+        if (it != v_.end() && it->ticket == ticket)
+            v_.erase(it);
+    }
+
+    /**
+     * The entry with the smallest ticket strictly greater than
+     * @p ticket, or nullptr. The issue loop's cursor: robust against
+     * any insert/erase between calls, including of the cursor entry.
+     *
+     * @p hint is a position guess maintained by the caller across a
+     * walk (start it at 0). The result never depends on it — the
+     * resync loops land on the unique sorted position with ticket >
+     * @p ticket from any starting point — but a good hint (the common
+     * case: the walk advances one entry, or the current entry was just
+     * erased) turns the lookup into one or two comparisons instead of
+     * a binary search.
+     */
+    const Entry *
+    firstAfter(std::uint64_t ticket, std::size_t &hint) const
+    {
+        std::size_t i = hint < v_.size() ? hint : v_.size();
+        while (i > 0 && v_[i - 1].ticket > ticket)
+            --i;
+        while (i < v_.size() && v_[i].ticket <= ticket)
+            ++i;
+        hint = i + 1;
+        visit_pos_ = i;
+        return i == v_.size() ? nullptr : &v_[i];
+    }
+
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+    void clear() { v_.clear(); }
+
+    const Entry &operator[](std::size_t i) const { return v_[i]; }
+
+  private:
+    std::vector<Entry> v_;
+    /** Index returned by the last firstAfter call (see erase). */
+    mutable std::size_t visit_pos_ = 0;
+};
+
+} // namespace srl
+
+#endif // SRLSIM_COMMON_READY_QUEUE_HH

@@ -159,6 +159,14 @@ struct ProcessorConfig
      * regardless of this flag.
      */
     bool skip_ahead = true;
+
+    /**
+     * Drive issue selection with the legacy full scheduler scan
+     * instead of the dependence-driven ready queues. Only honored in
+     * SRLSIM_ISSUE_SCAN_CHECK builds (which carry both stages for the
+     * scan-vs-wakeup equivalence tests); ignored otherwise.
+     */
+    bool issue_scan = false;
 };
 
 /** The Figure 6 named configurations. */

@@ -130,6 +130,32 @@ Processor::sourcesPoisoned(const DynUop &d) const
            producerPoisoned(d.memdep_prod);
 }
 
+/**
+ * One-pass fusion of sourcesPoisoned/sourcesReady for the issue loop:
+ * each producer is looked up once instead of once per predicate.
+ * Poison dominates (the legacy scan checked it first), and any poisoned
+ * producer sends the consumer to the slice regardless of the others, so
+ * the early return preserves the two-predicate outcome exactly.
+ */
+Processor::SourceStatus
+Processor::sourceStatus(const DynUop &d) const
+{
+    bool wait = false;
+    const SeqNum prods[3] = {d.src1_prod, d.src2_prod, d.memdep_prod};
+    for (const SeqNum prod : prods) {
+        if (prod == kInvalidSeqNum)
+            continue;
+        const DynUop *p = find(prod);
+        if (!p)
+            continue; // committed long ago
+        if (p->poisoned)
+            return SourceStatus::kPoisoned;
+        if (!(p->completed() && p->complete_cycle <= now_))
+            wait = true;
+    }
+    return wait ? SourceStatus::kWait : SourceStatus::kReady;
+}
+
 SchedClass
 Processor::schedClassOf(const isa::Uop &u)
 {
@@ -141,12 +167,63 @@ Processor::schedClassOf(const isa::Uop &u)
 }
 
 void
-Processor::releaseSchedulerSlot(DynUop &d)
+Processor::schedulerPush(DynUop &d)
 {
-    auto &list = sched_[static_cast<unsigned>(schedClassOf(d.uop))];
+    const auto cls = static_cast<unsigned>(schedClassOf(d.uop));
+    d.sched_ticket = next_ticket_++;
+    d.sched_sleep = false;
+    d.src_resolved = false;
+    ready_[cls].insert(d.sched_ticket, d.uop.seq);
+    ++sched_count_[cls];
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    scan_list_[cls].push_back(d.uop.seq);
+#endif
+}
+
+void
+Processor::schedulerRemove(DynUop &d)
+{
+    const auto cls = static_cast<unsigned>(schedClassOf(d.uop));
+    ready_[cls].erase(d.sched_ticket); // no-op when asleep
+    panic_if(sched_count_[cls] == 0, "scheduler occupancy underflow");
+    --sched_count_[cls];
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    auto &list = scan_list_[cls];
     const auto it = std::find(list.begin(), list.end(), d.uop.seq);
     if (it != list.end())
         list.erase(it);
+#endif
+}
+
+void
+Processor::releaseSchedulerSlot(DynUop &d)
+{
+    schedulerRemove(d);
+}
+
+/**
+ * Rebuild the ready queues and occupancy counts from the window (after
+ * a rollback rewrote scheduler membership wholesale). Every surviving
+ * scheduler entry is awake at this point — resetWakeState() ran — and
+ * tickets are stable across squash, so inserting survivors by ticket
+ * reproduces exactly the relative order the legacy lists kept through
+ * their remove_if.
+ */
+void
+Processor::rebuildSchedulerQueues()
+{
+    for (unsigned c = 0; c < 3; ++c) {
+        ready_[c].clear();
+        sched_count_[c] = 0;
+    }
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+        DynUop &d = window_[i];
+        if (d.state != UopState::kInScheduler)
+            continue;
+        const auto cls = static_cast<unsigned>(schedClassOf(d.uop));
+        ready_[cls].insert(d.sched_ticket, d.uop.seq);
+        ++sched_count_[cls];
+    }
 }
 
 void
@@ -191,7 +268,6 @@ Processor::fetch()
                  static_cast<unsigned long long>(u.seq));
 
         DynUop &d = window_.emplace_back();
-        sleep_lane_.push_back(0);
         d.uop = u;
         if (u.isBranch()) {
             const bool pred = bpred_->predict(u.pc);
@@ -256,7 +332,7 @@ Processor::resourcesFor(const DynUop &d, bool reinsertion) const
                                     : config_.sched_mem;
     const unsigned reserve =
         reinsertion ? 0 : std::min(4u, cap / 8);
-    if (sched_[cls].size() + reserve >= cap)
+    if (sched_count_[cls] + reserve >= cap)
         return false;
 
     // Destination register.
@@ -292,7 +368,7 @@ Processor::enterSlice(DynUop &d, bool from_scheduler)
     d.state = UopState::kInSlice;
     d.poisoned = true;
     unlinkWaiter(d);
-    wakeWaiters(d);
+    wakeWaiters(d, true);
     DTRACE(kSlice, "cycle %llu: drain to SDB: %s",
            (unsigned long long)now_, d.uop.toString().c_str());
 
@@ -374,8 +450,7 @@ Processor::tryReinsertSliceHead()
             d->uop.seq, 0, d->passes));
     d->state = UopState::kInScheduler;
     d->poisoned = false;
-    sched_[static_cast<unsigned>(schedClassOf(d->uop))].push_back(
-        d->uop.seq);
+    schedulerPush(*d);
     if (d->uop.hasDst()) {
         const bool fp = isa::isFloat(d->uop.cls) ||
                         (d->uop.isLoad() &&
@@ -460,7 +535,7 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
         const unsigned cap = cls == 0   ? config_.sched_int
                              : cls == 1 ? config_.sched_fp
                                         : config_.sched_mem;
-        if (sched_[cls].size() >= cap)
+        if (sched_count_[cls] >= cap)
             ++stats_.stall_sched;
         else
             ++stats_.stall_rf;
@@ -499,8 +574,7 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
         enterSlice(d, false);
     } else {
         d.state = UopState::kInScheduler;
-        sched_[static_cast<unsigned>(schedClassOf(d.uop))].push_back(
-            d.uop.seq);
+        schedulerPush(d);
         if (d.uop.hasDst()) {
             const bool fp = isa::isFloat(d.uop.cls) ||
                             (d.uop.isLoad() &&
@@ -550,7 +624,7 @@ void
 Processor::scheduleCompletion(DynUop &d, Cycle when)
 {
     d.state = UopState::kIssued;
-    events_.push(Event{when, d.uop.seq, d.generation});
+    events_.push(Event(when, d.uop.seq, d.generation));
 }
 
 Processor::LoadRoute
@@ -611,13 +685,16 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
         // cases v and vi).
         if (redo_mode_) {
             if (lcf_) {
-                if (lcf_->mayMatch(addr)) {
+                // One hash, one lane read: counter and indexed-
+                // forwarding slot come back together.
+                const lsq::LooseCheckFilter::Check chk =
+                    lcf_->lookup(addr);
+                if (chk.mayMatch()) {
                     // Indexed forwarding: RAM-read the last aliasing
                     // SRL slot; one external comparator checks address
                     // and age (no CAM, no search).
                     if (config_.srl.indexed_forwarding) {
-                        const std::uint32_t slot =
-                            lcf_->lastSrlIndex(addr);
+                        const std::uint32_t slot = chk.srl_index;
                         const lsq::SrlEntry *e = srl_->peekSlot(slot);
                         if (e && e->data_valid &&
                             lsq::bytesCover(e->addr, e->size, addr,
@@ -695,7 +772,7 @@ Processor::routeLoad(DynUop &d, std::uint64_t &value, Cycle &ready)
     if (lr.level == memsys::ServiceLevel::kMemory) {
         d.pending_mem_miss = true;
         d.poisoned = true;
-        wakeWaiters(d);
+        wakeWaiters(d, true);
         if (d.uop.hasDst())
             rename_[d.uop.dst].poisoned = true;
         ++outstanding_mem_misses_;
@@ -778,14 +855,14 @@ Processor::tryIssue(DynUop &d)
 // --------------------------------------------------------------------
 // Scheduler sleep/wakeup
 //
-// A scheduler entry whose sources are not ready would be re-checked by
-// every issue scan until a producer completes. Instead it goes to
-// sleep, linked into an intrusive LIFO chain on each incomplete
-// producer, and is woken when one of them completes or becomes
-// poisoned — the only transitions that can change its scan outcome.
-// Waking only clears the sleep flag; the entry is re-evaluated at its
-// usual position in the next scan pass, so issue selection order (and
-// therefore timing) is exactly that of the full per-cycle scan.
+// A scheduler entry whose sources are not ready goes to sleep: it
+// leaves its class's ready queue and is linked into an intrusive LIFO
+// chain on each incomplete producer. When a producer completes or
+// becomes poisoned — the only transitions that can change the entry's
+// issue outcome — the chain walk re-inserts it into the ready queue at
+// its original ticket position, so issue() never examines blocked
+// work and its selection order (and therefore timing) is exactly that
+// of the legacy full per-cycle scan.
 // --------------------------------------------------------------------
 
 void
@@ -813,13 +890,15 @@ Processor::sleepSchedEntry(DynUop &d)
         linked = true;
     }
     // No link could mean every producer completed between the
-    // readiness check and here; stay awake and let the scan retry.
+    // readiness check and here; stay ready and retry next cycle.
     d.sched_sleep = linked;
-    sleep_lane_[d.uop.seq - window_base_] = linked ? 1 : 0;
+    if (linked)
+        ready_[static_cast<unsigned>(schedClassOf(d.uop))].erase(
+            d.sched_ticket);
 }
 
 void
-Processor::wakeWaiters(DynUop &p)
+Processor::wakeWaiters(DynUop &p, bool poison)
 {
     SeqNum cur = p.first_waiter;
     std::uint8_t slot = p.first_waiter_slot;
@@ -833,8 +912,27 @@ Processor::wakeWaiters(DynUop &p)
         const std::uint8_t next_slot = w->wait_next_slot[slot];
         w->wait_linked[slot] = false;
         w->wait_next[slot] = kInvalidSeqNum;
-        w->sched_sleep = false;
-        sleep_lane_[cur - window_base_] = 0;
+        // A completion wake is deferred until the waiter's last linked
+        // producer finishes: a visit before that would only re-sleep it
+        // (no stats, probes or progress on that path), so skipping the
+        // early wake is unobservable. A poison wake reinserts
+        // immediately — the waiter must drain into the slice even
+        // though other producers are still pending (the issue pass
+        // checks sourcesPoisoned before sourcesReady).
+        if (w->sched_sleep &&
+            (poison || !(w->wait_linked[0] || w->wait_linked[1] ||
+                         w->wait_linked[2]))) {
+            w->sched_sleep = false;
+            // A gated completion wake proves readiness outright: the
+            // linked producers all completed (this was the last), the
+            // unlinked ones had already completed when the waiter went
+            // to sleep, and completed producers are never poisoned.
+            // The issue pass can skip its source re-check.
+            if (!poison)
+                w->src_resolved = true;
+            ready_[static_cast<unsigned>(schedClassOf(w->uop))].insert(
+                w->sched_ticket, cur);
+        }
         cur = next;
         slot = next_slot;
     }
@@ -871,8 +969,9 @@ Processor::unlinkWaiter(DynUop &w)
         }
         w.wait_next[slot] = kInvalidSeqNum;
     }
+    // The entry is leaving the scheduler; the caller already removed it
+    // from its ready queue, so only the flag needs clearing.
     w.sched_sleep = false;
-    sleep_lane_[w.uop.seq - window_base_] = 0;
 }
 
 void
@@ -881,7 +980,6 @@ Processor::resetWakeState()
     for (std::size_t i = 0; i < window_.size(); ++i) {
         DynUop &d = window_[i];
         d.sched_sleep = false;
-        sleep_lane_[i] = 0;
         d.first_waiter = kInvalidSeqNum;
         d.first_waiter_slot = 0;
         for (unsigned s = 0; s < 3; ++s) {
@@ -894,6 +992,12 @@ Processor::resetWakeState()
 void
 Processor::issue()
 {
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    if (config_.issue_scan) {
+        issueScan();
+        return;
+    }
+#endif
     unsigned budget = config_.issue_width;
     unsigned fu_int = config_.fu_int_alu;
     unsigned fu_mul = config_.fu_int_mul;
@@ -902,21 +1006,140 @@ Processor::issue()
     unsigned stores = config_.store_ports;
 
     for (unsigned cls = 0; cls < 3 && budget > 0; ++cls) {
-        auto &list = sched_[cls];
-        for (std::size_t i = 0; i < list.size() && budget > 0;) {
-            if (sleep_lane_[list[i] - window_base_]) {
-                // Known-blocked: nothing it waits on has completed or
-                // been poisoned since it went to sleep. The dense lane
-                // answers without touching the uop itself.
-                ++i;
-                continue;
+        ReadyQueue &rq = ready_[cls];
+        // Ticket-cursor walk: visits exactly the entries the legacy
+        // scan would have examined, in the same order, while skipping
+        // sleepers entirely. The cursor makes the walk robust against
+        // mutation from inside the loop body — an issued load that
+        // misses wakes its consumers (they join at their tickets,
+        // visited iff the scan would still have reached them), a
+        // poisoned entry drains out, a failed readiness check puts the
+        // current entry to sleep.
+        std::uint64_t cursor = 0;
+        std::size_t pos_hint = 0;
+        while (budget > 0) {
+            const ReadyQueue::Entry *e = rq.firstAfter(cursor, pos_hint);
+            if (!e)
+                break;
+            cursor = e->ticket;
+            DynUop *d = find(e->seq);
+            panic_if(!d || d->state != UopState::kInScheduler,
+                     "scheduler holds stale uop");
+            if (!d->src_resolved) {
+                const SourceStatus st = sourceStatus(*d);
+                if (st == SourceStatus::kPoisoned) {
+                    // Miss-dependent: drain into the slice, freeing
+                    // the slot (this is the CFP resource-release
+                    // mechanism). With the SDB full it stays ready
+                    // and retries.
+                    if (!sdb_.full()) {
+                        enterSlice(*d, true);
+                        tick_progress_ = true;
+                    }
+                    continue;
+                }
+                if (st == SourceStatus::kWait) {
+                    sleepSchedEntry(*d);
+                    continue;
+                }
+                d->src_resolved = true;
             }
+
+            // Functional-unit availability.
+            bool fu_ok = true;
+            switch (d->uop.cls) {
+              case isa::UopClass::kIntAlu:
+              case isa::UopClass::kBranch:
+              case isa::UopClass::kNop:
+                fu_ok = fu_int > 0;
+                break;
+              case isa::UopClass::kIntMul:
+                fu_ok = fu_mul > 0;
+                break;
+              case isa::UopClass::kFpAlu:
+              case isa::UopClass::kFpMul:
+                fu_ok = fu_fp > 0;
+                break;
+              case isa::UopClass::kLoad:
+                fu_ok = loads > 0;
+                break;
+              case isa::UopClass::kStore:
+                fu_ok = stores > 0;
+                break;
+            }
+            if (!fu_ok)
+                continue; // port-starved; stays ready for next cycle
+
+            // Even a failed issue attempt is progress: routeLoad
+            // touches the cache hierarchy, prefetcher, CAM counters,
+            // and per-cycle probe events (e.g. kLcfHit) on its retry
+            // paths, so these cycles must be executed for real.
+            tick_progress_ = true;
+            const std::uint64_t epoch = rollback_epoch_;
+            if (!tryIssue(*d))
+                continue; // structural stall; retry next cycle
+            if (epoch != rollback_epoch_) {
+                // The issue triggered a violation rollback; the
+                // scheduler queues were rebuilt under us. Abort the
+                // pass.
+                return;
+            }
+
+            switch (d->uop.cls) {
+              case isa::UopClass::kIntAlu:
+              case isa::UopClass::kBranch:
+              case isa::UopClass::kNop:
+                --fu_int;
+                break;
+              case isa::UopClass::kIntMul:
+                --fu_mul;
+                break;
+              case isa::UopClass::kFpAlu:
+              case isa::UopClass::kFpMul:
+                --fu_fp;
+                break;
+              case isa::UopClass::kLoad:
+                --loads;
+                break;
+              case isa::UopClass::kStore:
+                --stores;
+                break;
+            }
+            --budget;
+            schedulerRemove(*d);
+        }
+    }
+}
+
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+/**
+ * The pre-ready-queue issue stage, verbatim: a full scan of every
+ * scheduler entry each cycle, skipping sleepers by flag. Selected at
+ * runtime with config.issue_scan so equivalence tests can run both
+ * stages in one binary; the shared helpers keep scan_list_ and the
+ * ready queues coherent whichever stage drives selection.
+ */
+void
+Processor::issueScan()
+{
+    unsigned budget = config_.issue_width;
+    unsigned fu_int = config_.fu_int_alu;
+    unsigned fu_mul = config_.fu_int_mul;
+    unsigned fu_fp = config_.fu_fp;
+    unsigned loads = config_.load_ports;
+    unsigned stores = config_.store_ports;
+
+    for (unsigned cls = 0; cls < 3 && budget > 0; ++cls) {
+        auto &list = scan_list_[cls];
+        for (std::size_t i = 0; i < list.size() && budget > 0;) {
             DynUop *d = find(list[i]);
             panic_if(!d || d->state != UopState::kInScheduler,
                      "scheduler holds stale uop");
+            if (d->sched_sleep) {
+                ++i;
+                continue;
+            }
             if (sourcesPoisoned(*d)) {
-                // Miss-dependent: drain into the slice, freeing the
-                // slot (this is the CFP resource-release mechanism).
                 if (!sdb_.full()) {
                     enterSlice(*d, true);
                     tick_progress_ = true;
@@ -931,7 +1154,6 @@ Processor::issue()
                 continue;
             }
 
-            // Functional-unit availability.
             bool fu_ok = true;
             switch (d->uop.cls) {
               case isa::UopClass::kIntAlu:
@@ -958,21 +1180,14 @@ Processor::issue()
                 continue;
             }
 
-            // Even a failed issue attempt is progress: routeLoad
-            // touches the cache hierarchy, prefetcher, CAM counters,
-            // and per-cycle probe events (e.g. kLcfHit) on its retry
-            // paths, so these cycles must be executed for real.
             tick_progress_ = true;
             const std::uint64_t epoch = rollback_epoch_;
             if (!tryIssue(*d)) {
                 ++i;
-                continue; // structural stall; retry next cycle
+                continue;
             }
-            if (epoch != rollback_epoch_) {
-                // The issue triggered a violation rollback; the
-                // scheduler lists were rebuilt under us. Abort the pass.
+            if (epoch != rollback_epoch_)
                 return;
-            }
 
             switch (d->uop.cls) {
               case isa::UopClass::kIntAlu:
@@ -995,10 +1210,49 @@ Processor::issue()
                 break;
             }
             --budget;
-            list.erase(list.begin() + static_cast<long>(i));
+            schedulerRemove(*d); // erases this list slot too
         }
     }
 }
+
+/**
+ * Cross-check-build invariant: the ready queues must hold exactly the
+ * awake entries of the legacy lists, in list order, and the occupancy
+ * counts must match the list sizes. Checked every tick in both modes.
+ */
+void
+Processor::verifySchedulerCoherence() const
+{
+    for (unsigned cls = 0; cls < 3; ++cls) {
+        const auto &list = scan_list_[cls];
+        panic_if(sched_count_[cls] != list.size(),
+                 "sched_count[%u]=%u but scan list holds %zu", cls,
+                 sched_count_[cls], list.size());
+        std::size_t r = 0;
+        std::uint64_t last_ticket = 0;
+        for (const SeqNum seq : list) {
+            const DynUop *d = find(seq);
+            panic_if(!d, "scan list holds evicted seq");
+            panic_if(d->sched_ticket <= last_ticket,
+                     "scan list out of ticket order");
+            last_ticket = d->sched_ticket;
+            if (d->sched_sleep)
+                continue;
+            panic_if(r >= ready_[cls].size(),
+                     "ready queue missing awake entry %llu",
+                     static_cast<unsigned long long>(seq));
+            panic_if(ready_[cls][r].ticket != d->sched_ticket ||
+                         ready_[cls][r].seq != seq,
+                     "ready queue diverges at class %u pos %zu", cls,
+                     r);
+            ++r;
+        }
+        panic_if(r != ready_[cls].size(),
+                 "ready queue holds %zu entries, expected %zu",
+                 ready_[cls].size(), r);
+    }
+}
+#endif // SRLSIM_ISSUE_SCAN_CHECK
 
 // --------------------------------------------------------------------
 // Completions
@@ -1011,8 +1265,8 @@ Processor::processEvents()
         const Event ev = events_.top();
         events_.pop();
         tick_progress_ = true;
-        DynUop *d = find(ev.seq);
-        if (!d || d->generation != ev.generation ||
+        DynUop *d = find(ev.seq());
+        if (!d || (d->generation & Event::kGenMask) != ev.generation() ||
             d->state != UopState::kIssued)
             continue; // squashed/stale
         completeUop(*d);
@@ -1026,7 +1280,7 @@ Processor::completeUop(DynUop &d)
     d.complete_cycle = now_;
     releaseRegister(d);
     ckpts_.completed(d.ckpt);
-    wakeWaiters(d);
+    wakeWaiters(d, false);
 
     if (d.uop.isLoad()) {
         completeLoad(d);
@@ -1474,7 +1728,6 @@ Processor::commit()
                 store_sets_.storeRetired(d.uop.seq);
             }
             window_.pop_front();
-            sleep_lane_.pop_front();
             ++window_base_;
             panic_if(alloc_index_ == 0, "alloc index underflow");
             --alloc_index_;
@@ -1664,12 +1917,15 @@ Processor::rollbackToCheckpoint(CheckpointId target)
         d.mispredicted = false;
     }
 
-    // Remove squashed entries from the scheduler lists.
-    for (auto &list : sched_) {
+    // Rebuild scheduler membership around the survivors.
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    for (auto &list : scan_list_) {
         list.erase(std::remove_if(list.begin(), list.end(),
                                   [&](SeqNum s) { return s >= boundary; }),
                    list.end());
     }
+#endif
+    rebuildSchedulerQueues();
 
     // Unblock fetch if the blocking branch was squashed.
     if (fetch_block_branch_ != kInvalidSeqNum &&
@@ -1728,6 +1984,10 @@ Processor::tick()
     allocate();
     issue();
     fetch();
+
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    verifySchedulerCoherence();
+#endif
 
     if (srl_)
         srl_occupancy_.observe(srl_->size(), 1);
@@ -1802,15 +2062,17 @@ Processor::tick()
                          d ? (unsigned)d->state : 99);
         }
         std::fprintf(stderr,
-                     "rf int %u/%u fp %u/%u; sched sizes %zu/%zu/%zu\n",
+                     "rf int %u/%u fp %u/%u; sched %u/%u/%u "
+                     "(ready %zu/%zu/%zu)\n",
                      rf_used_int_, config_.regs_int, rf_used_fp_,
-                     config_.regs_fp, sched_[0].size(),
-                     sched_[1].size(), sched_[2].size());
+                     config_.regs_fp, sched_count_[0], sched_count_[1],
+                     sched_count_[2], ready_[0].size(),
+                     ready_[1].size(), ready_[2].size());
         for (unsigned c = 0; c < 3; ++c) {
             for (std::size_t i = 0;
-                 i < std::min<std::size_t>(sched_[c].size(), 3); ++i) {
-                const DynUop *d = find(sched_[c][i]);
-                std::fprintf(stderr, "sched[%u][%zu]: %s", c, i,
+                 i < std::min<std::size_t>(ready_[c].size(), 3); ++i) {
+                const DynUop *d = find(ready_[c][i].seq);
+                std::fprintf(stderr, "ready[%u][%zu]: %s", c, i,
                              d ? d->uop.toString().c_str() : "?");
                 if (d) {
                     std::fprintf(
@@ -1861,7 +2123,7 @@ Processor::captureIdleCounters() const
     c.temp_update_stalls = stats_.temp_update_stalls;
     c.ckpt_create_stalls = ckpts_.createStalls.value();
     c.stq_alloc_fails = stq_->allocFails.value();
-    c.lcf_overflows = lcf_ ? lcf_->bloom().overflows.value() : 0;
+    c.lcf_overflows = lcf_ ? lcf_->overflows.value() : 0;
     c.srl_indexed_reads = srl_ ? srl_->indexedReads.value() : 0;
     c.fence_drain_blocked = fence_.drainBlocked.value();
     c.ss_accesses = store_sets_.accesses();
@@ -1929,7 +2191,7 @@ Processor::skipQuiescentCycles(const IdleCounters &before,
     stq_->allocFails +=
         delta(after.stq_alloc_fails, before.stq_alloc_fails);
     if (lcf_)
-        lcf_->bloom().overflows +=
+        lcf_->overflows +=
             delta(after.lcf_overflows, before.lcf_overflows);
     if (srl_)
         srl_->indexedReads +=
@@ -2021,7 +2283,7 @@ Processor::attachSampler(obs::CounterSampler *sampler)
     });
     sampler->addGauge("sched", [this] {
         return static_cast<std::uint64_t>(
-            sched_[0].size() + sched_[1].size() + sched_[2].size());
+            sched_count_[0] + sched_count_[1] + sched_count_[2]);
     });
     sampler->addGauge("stq", [this] {
         return static_cast<std::uint64_t>(stq_->size());
@@ -2043,7 +2305,7 @@ Processor::attachSampler(obs::CounterSampler *sampler)
     if (lcf_) {
         sampler->addGauge("lcf_nonzero", [this] {
             return static_cast<std::uint64_t>(
-                lcf_->bloom().nonzeroCounters());
+                lcf_->nonzeroCounters());
         });
     }
     if (fc_) {
@@ -2162,7 +2424,7 @@ Processor::formatStats() const
                            "LCF load-side checks");
         lsu.registerScalar("lcf.hits", &lcf_->hits,
                            "LCF non-zero counters seen");
-        lsu.registerScalar("lcf.overflows", &lcf_->bloom().overflows,
+        lsu.registerScalar("lcf.overflows", &lcf_->overflows,
                            "LCF counter saturations");
     }
     if (fc_) {

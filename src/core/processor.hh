@@ -33,6 +33,7 @@
 #include "cfp/rename.hh"
 #include "cfp/sdb.hh"
 #include "common/random.hh"
+#include "common/ready_queue.hh"
 #include "common/ring_window.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -91,6 +92,9 @@ struct DynUop
     SeqNum memdep_prod = kInvalidSeqNum; ///< store-sets predicted store
 
     bool poisoned = false; ///< result unavailable pending a memory miss
+    Cycle complete_cycle = kInvalidCycle; ///< kept beside state/poisoned:
+                                          ///< producer checks read all
+                                          ///< three per lookup
 
     // Store state.
     lsq::StoreId store_id = lsq::kNullStoreId;
@@ -119,15 +123,22 @@ struct DynUop
     bool mispredicted = false;
     bool branch_counted = false; ///< predictor consulted already
 
-    Cycle complete_cycle = kInvalidCycle;
-
     // Scheduler sleep/wakeup bookkeeping (pure performance state: a
-    // blocked scheduler entry is skipped by the issue scan until a
+    // blocked scheduler entry leaves the per-class ready queue until a
     // producer it sleeps on completes or becomes poisoned, which are
-    // the only transitions that can change its scan outcome). Links
+    // the only transitions that can change its issue outcome). Links
     // form one intrusive LIFO chain per producer, one slot per source
-    // operand (0 = src1, 1 = src2, 2 = memdep).
+    // operand (0 = src1, 1 = src2, 2 = memdep). The ticket is the
+    // entry's position in legacy scan order (see common/ready_queue.hh)
+    // and is reassigned every time the uop (re)enters a scheduler.
+    std::uint64_t sched_ticket = 0;
     bool sched_sleep = false;
+    /** Source checks passed once; sticky until the next scheduler
+     * (re)entry. Completed producers never regress or re-poison
+     * within a rollback epoch, so "all sources ready" is monotonic
+     * and repeat issue-loop visits (port starvation, structural
+     * stalls) can skip the per-producer window lookups. */
+    bool src_resolved = false;
     bool wait_linked[3] = {false, false, false};
     SeqNum wait_next[3] = {kInvalidSeqNum, kInvalidSeqNum,
                            kInvalidSeqNum};
@@ -290,9 +301,25 @@ class Processor
 
     // ----- scheduler sleep/wakeup helpers -----
     void sleepSchedEntry(DynUop &d);
-    void wakeWaiters(DynUop &p);
+    /**
+     * Producer @p p finished: unlink every waiter and reinsert the
+     * eligible ones into their ready queues. @p poison distinguishes a
+     * poison wake (the producer drained into the slice or missed to
+     * memory; waiters must be visited immediately so they can follow)
+     * from a completion wake (waiters reinsert only once their last
+     * linked producer finishes — an earlier visit would just re-sleep
+     * them).
+     */
+    void wakeWaiters(DynUop &p, bool poison);
     void unlinkWaiter(DynUop &w);
     void resetWakeState();
+    void schedulerPush(DynUop &d);
+    void schedulerRemove(DynUop &d);
+    void rebuildSchedulerQueues();
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    void issueScan();
+    void verifySchedulerCoherence() const;
+#endif
 
     // ----- allocate helpers -----
     bool allocateOne(DynUop &d, bool reinsertion);
@@ -304,6 +331,13 @@ class Processor
     // ----- issue helpers -----
     bool sourcesReady(const DynUop &d) const;
     bool sourcesPoisoned(const DynUop &d) const;
+    enum class SourceStatus : std::uint8_t
+    {
+        kReady,
+        kWait,
+        kPoisoned,
+    };
+    SourceStatus sourceStatus(const DynUop &d) const;
     bool tryIssue(DynUop &d);
     bool issueLoad(DynUop &d);
     bool issueStore(DynUop &d);
@@ -416,27 +450,60 @@ class Processor
     // contiguous ring: every phase walks or indexes it each cycle, so
     // the layout is the hottest data path in the model.
     RingWindow<DynUop> window_;
-    /**
-     * Dense mirror of DynUop::sched_sleep, indexed like window_
-     * (i = seq - window_base_). The issue scan tests this byte lane
-     * instead of dereferencing a scattered ~300-byte DynUop per
-     * sleeping scheduler entry; it is updated wherever sched_sleep is.
-     */
-    RingWindow<std::uint8_t> sleep_lane_;
     SeqNum window_base_ = 0;
     std::size_t alloc_index_ = 0; ///< next window index to allocate
 
-    // Scheduler occupancy.
-    std::vector<SeqNum> sched_[3]; ///< per SchedClass, insertion order
+    /**
+     * Per-class ready queues: the awake scheduler entries, in legacy
+     * scan order (ticket order). issue() walks only these; sleeping
+     * entries are reachable solely through their producers' wakeup
+     * chains, so a cycle's issue cost is O(ready), not O(window).
+     */
+    ReadyQueue ready_[3];
+    unsigned sched_count_[3] = {0, 0, 0}; ///< occupancy incl. sleepers
+    std::uint64_t next_ticket_ = 1;
+#ifdef SRLSIM_ISSUE_SCAN_CHECK
+    /** Legacy scheduler lists, kept only in cross-check builds so the
+     * original O(window) scan can run against the same machine. */
+    std::vector<SeqNum> scan_list_[3];
+#endif
     unsigned rf_used_int_ = 0;
     unsigned rf_used_fp_ = 0;
 
-    // Event heap: (cycle, seq, generation).
+    // Event heap: (cycle, seq, generation). The seq and generation
+    // share one word (seq in the low 40 bits, generation's low 24
+    // above) so a heap element is 16 bytes instead of 24 — the sift
+    // moves during push/pop are the hottest fixed cost of the cycle
+    // loop. Runs are far below 2^40 uops, and a generation collision
+    // needs the same window slot squashed a multiple of 2^24 times
+    // between schedule and fire. Ordering still compares cycle alone,
+    // so the pop order is bit-identical to the unpacked heap's.
     struct Event
     {
+        static constexpr unsigned kSeqBits = 40;
+        static constexpr std::uint64_t kSeqMask =
+            (1ull << kSeqBits) - 1;
+        static constexpr std::uint32_t kGenMask = 0xffffff;
+
         Cycle cycle;
-        SeqNum seq;
-        std::uint32_t generation;
+        std::uint64_t seq_gen;
+
+        Event() = default;
+        Event(Cycle c, SeqNum seq, std::uint32_t generation)
+            : cycle(c),
+              seq_gen((static_cast<std::uint64_t>(generation)
+                       << kSeqBits) |
+                      (seq & kSeqMask))
+        {
+        }
+
+        SeqNum seq() const { return seq_gen & kSeqMask; }
+        std::uint32_t
+        generation() const
+        {
+            return static_cast<std::uint32_t>(seq_gen >> kSeqBits) &
+                   kGenMask;
+        }
         bool operator>(const Event &o) const { return cycle > o.cycle; }
     };
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>

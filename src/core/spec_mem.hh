@@ -41,7 +41,11 @@ namespace core
 class SpeculativeMemory
 {
   public:
-    explicit SpeculativeMemory(memsys::MainMemory &mem) : mem_(mem) {}
+    explicit SpeculativeMemory(memsys::MainMemory &mem) : mem_(mem)
+    {
+        cache_idx_.fill(~static_cast<Addr>(0));
+        cache_page_.fill(nullptr);
+    }
 
     /** A store drains (program order). */
     void write(SeqNum seq, CheckpointId ckpt, Addr addr, unsigned size,
@@ -84,7 +88,10 @@ class SpeculativeMemory
     struct OverlayPage
     {
         std::array<std::uint8_t, kPageBytes> value{};
-        std::array<std::uint32_t, kPageBytes> writers{};
+        /** Per-byte pending-writer count; 16-bit lanes so a span's
+         * counters batch into whole-word SWAR updates (the count is
+         * bounded by in-flight stores, far below 65535). */
+        std::array<std::uint16_t, kPageBytes> writers{};
     };
 
     OverlayPage &touchPage(Addr addr);
@@ -97,8 +104,15 @@ class SpeculativeMemory
     std::deque<LogEntry> log_; ///< program order, oldest first
     std::unordered_map<Addr, std::unique_ptr<OverlayPage>> overlay_;
     std::size_t overlay_bytes_ = 0; ///< total bytes with writers > 0
-    mutable Addr last_idx_ = ~static_cast<Addr>(0);
-    mutable OverlayPage *last_page_ = nullptr;
+
+    /** Direct-mapped page-pointer cache over overlay_: redo-mode
+     * drains/loads alternate between a handful of pages, which a
+     * one-entry cache thrashes on. Caches negative lookups too
+     * (nullptr); touchPage refreshes the slot on insertion and
+     * rebuildOverlay resets the table. */
+    static constexpr std::size_t kPageCacheSlots = 64;
+    mutable std::array<Addr, kPageCacheSlots> cache_idx_;
+    mutable std::array<OverlayPage *, kPageCacheSlots> cache_page_;
 };
 
 } // namespace core

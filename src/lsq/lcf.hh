@@ -13,14 +13,25 @@
  * non-zero counter indexes the SRL directly (no CAM, no search); a
  * single external comparator then checks full address and age. If that
  * check fails, the load stalls until the counter drains to zero.
+ *
+ * The counter and the SRL index of a bucket are packed into one 64-bit
+ * lane (count in the low 16 bits, index above), so every filter
+ * operation is a single hash plus a single word-sized read-modify-write
+ * — the hardware reads one RAM row, and the model touches one cache
+ * line. The membership update itself is branch-free: saturation and
+ * the zero->nonzero transition are folded into arithmetic (a saturated
+ * counter cannot be zero, since the max is >= 1).
  */
 
 #ifndef SRLSIM_LSQ_LCF_HH
 #define SRLSIM_LSQ_LCF_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/intmath.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "lsq/counting_bloom.hh"
@@ -42,15 +53,33 @@ class LooseCheckFilter
 {
   public:
     explicit LooseCheckFilter(const LcfParams &params)
-        : params_(params),
-          bloom_(params.entries, params.counter_bits, params.hash),
-          last_srl_index_(params.entries, kNoIndex)
+        : params_(params), lanes_(params.entries, kEmptyLane),
+          counter_max_((1u << params.counter_bits) - 1),
+          idx_bits_(ceilLog2(params.entries)), scheme_(params.hash)
     {
+        fatal_if(!isPowerOf2(params.entries),
+                 "LCF entries must be a power of two");
+        fatal_if(params.counter_bits == 0 || params.counter_bits > 16,
+                 "LCF counter width out of range");
     }
 
     static constexpr std::uint32_t kNoIndex = 0xffffffff;
 
     const LcfParams &params() const { return params_; }
+
+    /** Word-granular hash index for @p addr. */
+    unsigned
+    index(Addr addr) const
+    {
+        // >>3: word granularity; hashes operate on the word address.
+        switch (scheme_) {
+          case HashScheme::kLowerAddressBits:
+            return static_cast<unsigned>(labIndex(addr, idx_bits_, 3));
+          case HashScheme::kThreePieceXor:
+            return static_cast<unsigned>(paxIndex(addr, idx_bits_, 3));
+        }
+        panic("unknown hash scheme");
+    }
 
     /**
      * A store to @p addr enters the SRL at slot @p srl_index.
@@ -60,37 +89,65 @@ class LooseCheckFilter
     bool
     storeInserted(Addr addr, std::uint32_t srl_index)
     {
-        if (!bloom_.increment(addr))
-            return false;
-        last_srl_index_[bloom_.index(addr)] = srl_index;
-        ++inserts;
-        return true;
+        std::uint64_t &lane = lanes_[index(addr)];
+        const std::uint64_t c = lane & kCountMask;
+        const std::uint64_t saturated = c >= counter_max_ ? 1u : 0u;
+        overflows += saturated;
+        nonzero_ += c == 0 ? 1u : 0u;
+        // On saturation the lane is unchanged (count stays at max, the
+        // recorded index keeps pointing at the store that filled it).
+        const std::uint64_t updated =
+            (static_cast<std::uint64_t>(srl_index) << kIndexShift) |
+            (c + 1u);
+        lane = saturated ? lane : updated;
+        inserts += 1u - saturated;
+        return saturated == 0;
     }
 
     /** A store to @p addr left the SRL. */
     void
     storeRemoved(Addr addr)
     {
-        bloom_.decrement(addr);
+        std::uint64_t &lane = lanes_[index(addr)];
+        panic_if((lane & kCountMask) == 0,
+                 "LCF decrement below zero");
+        --lane;
+        nonzero_ -= (lane & kCountMask) == 0 ? 1u : 0u;
         ++removes;
     }
 
-    /** Load-side check: zero means the SRL definitely has no match. */
-    bool
-    mayMatch(Addr addr) const
+    /** One-hash load-side check: counter plus recorded SRL slot. */
+    struct Check
+    {
+        unsigned count;          ///< 0 = SRL definitely has no match
+        std::uint32_t srl_index; ///< last inserted aliasing slot
+        bool mayMatch() const { return count != 0; }
+    };
+
+    /**
+     * Load-side check: reads the bucket once and returns both the
+     * counter and the indexed-forwarding slot. A zero counter means
+     * the SRL definitely holds no store to @p addr.
+     */
+    Check
+    lookup(Addr addr) const
     {
         ++checks;
-        const bool hit = bloom_.mayContain(addr);
-        if (hit) {
+        const std::uint64_t lane = lanes_[index(addr)];
+        const Check r{static_cast<unsigned>(lane & kCountMask),
+                      static_cast<std::uint32_t>(lane >> kIndexShift)};
+        if (r.count != 0) {
             ++hits;
             if (probe_)
                 probe_->emit(obs::makeEvent(
                     *clock_, obs::EventKind::kLcfHit,
-                    obs::Structure::kLcf, addr, 0,
-                    bloom_.count(addr)));
+                    obs::Structure::kLcf, addr, 0, r.count));
         }
-        return hit;
+        return r;
     }
+
+    /** Load-side check: zero means the SRL definitely has no match. */
+    bool mayMatch(Addr addr) const { return lookup(addr).mayMatch(); }
 
     /** Attach the observability probe bus (see StoreRedoLog::setProbe). */
     void
@@ -108,31 +165,55 @@ class LooseCheckFilter
     std::uint32_t
     lastSrlIndex(Addr addr) const
     {
-        return last_srl_index_[bloom_.index(addr)];
+        return static_cast<std::uint32_t>(lanes_[index(addr)] >>
+                                          kIndexShift);
     }
 
-    unsigned count(Addr addr) const { return bloom_.count(addr); }
+    unsigned
+    count(Addr addr) const
+    {
+        return static_cast<unsigned>(lanes_[index(addr)] & kCountMask);
+    }
+
+    /** True iff every counter is zero (invariant checks in tests). */
+    bool
+    allZero() const
+    {
+        for (const auto lane : lanes_) {
+            if ((lane & kCountMask) != 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** Number of counters currently non-zero (occupancy gauge). */
+    std::size_t nonzeroCounters() const { return nonzero_; }
 
     void
     clear()
     {
-        bloom_.clear();
-        std::fill(last_srl_index_.begin(), last_srl_index_.end(),
-                  kNoIndex);
+        std::fill(lanes_.begin(), lanes_.end(), kEmptyLane);
+        nonzero_ = 0;
     }
-
-    const CountingBloom &bloom() const { return bloom_; }
-    CountingBloom &bloom() { return bloom_; }
 
     mutable stats::Scalar checks;
     mutable stats::Scalar hits;
     stats::Scalar inserts;
     stats::Scalar removes;
+    stats::Scalar overflows;
 
   private:
+    static constexpr unsigned kIndexShift = 16;
+    static constexpr std::uint64_t kCountMask = 0xffff;
+    static constexpr std::uint64_t kEmptyLane =
+        static_cast<std::uint64_t>(kNoIndex) << kIndexShift;
+
     LcfParams params_;
-    CountingBloom bloom_;
-    std::vector<std::uint32_t> last_srl_index_;
+    std::vector<std::uint64_t> lanes_;
+    unsigned counter_max_;
+    unsigned idx_bits_;
+    HashScheme scheme_;
+    std::size_t nonzero_ = 0;
     obs::ProbeBus *probe_ = nullptr;
     const Cycle *clock_ = nullptr;
 };

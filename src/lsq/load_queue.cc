@@ -12,13 +12,14 @@ namespace lsq
 LoadQueue::LoadQueue(const LoadQueueParams &params) : params_(params)
 {
     fatal_if(params_.capacity == 0, "load queue capacity must be > 0");
+    entries_.reserve(params_.capacity * 2);
 }
 
 void
 LoadQueue::allocate(SeqNum seq, CheckpointId ckpt)
 {
     panic_if(full(), "load queue allocate when full");
-    panic_if(!entries_.empty() && entries_.back().seq >= seq,
+    panic_if(size() != 0 && entries_.back().seq >= seq,
              "load queue allocation out of program order "
              "(tail %llu, new %llu)",
              static_cast<unsigned long long>(entries_.back().seq),
@@ -29,42 +30,48 @@ LoadQueue::allocate(SeqNum seq, CheckpointId ckpt)
     entries_.push_back(e);
 }
 
-auto
-LoadQueue::lowerBound(SeqNum seq) -> std::deque<Entry>::iterator
+std::size_t
+LoadQueue::lowerBound(SeqNum seq) const
 {
     // Entries are allocated in program order, so seq is sorted
-    // ascending and lookups can binary-search.
-    return std::lower_bound(entries_.begin(), entries_.end(), seq,
-                            [](const Entry &e, SeqNum s) {
-                                return e.seq < s;
-                            });
+    // ascending and lookups can binary-search the live range.
+    std::size_t lo = head_, hi = entries_.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (entries_[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
 }
 
 void
 LoadQueue::executed(SeqNum seq, Addr addr, std::uint8_t size,
                     SeqNum fwd_store_seq)
 {
-    const auto it = lowerBound(seq);
-    panic_if(it == entries_.end() || it->seq != seq,
+    const std::size_t i = lowerBound(seq);
+    panic_if(i == entries_.size() || entries_[i].seq != seq,
              "load queue executed() for absent load %llu",
              static_cast<unsigned long long>(seq));
-    it->addr = addr;
-    it->size = size;
-    it->fwd_store_seq = fwd_store_seq;
-    it->executed = true;
+    Entry &e = entries_[i];
+    e.addr = addr;
+    e.size = size;
+    e.fwd_store_seq = fwd_store_seq;
+    e.executed = true;
 }
 
 std::optional<LoadViolation>
 LoadQueue::storeCheck(SeqNum store_seq, Addr addr, std::uint8_t size)
 {
     ++camSearches;
-    camEntriesSearched += entries_.size();
+    camEntriesSearched += this->size();
     // Only loads younger than the store can violate; binary-search the
     // scan start (the CAM activity charge above is unchanged: the
     // modeled CAM still activates every entry).
-    for (auto it = lowerBound(store_seq + 1); it != entries_.end();
-         ++it) { // oldest first
-        const Entry &e = *it;
+    for (std::size_t i = lowerBound(store_seq + 1); i < entries_.size();
+         ++i) { // oldest first
+        const Entry &e = entries_[i];
         if (!e.executed)
             continue;
         if (!bytesOverlap(e.addr, e.size, addr, size))
@@ -84,8 +91,9 @@ std::optional<LoadViolation>
 LoadQueue::snoopCheck(Addr addr, std::uint8_t size)
 {
     ++camSearches;
-    camEntriesSearched += entries_.size();
-    for (const auto &e : entries_) {
+    camEntriesSearched += this->size();
+    for (std::size_t i = head_; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
         if (!e.executed)
             continue;
         if (bytesOverlap(e.addr, e.size, addr, size)) {
@@ -97,16 +105,29 @@ LoadQueue::snoopCheck(Addr addr, std::uint8_t size)
 }
 
 void
+LoadQueue::compactHead()
+{
+    // Amortized O(1) pop_front: reclaim the dead prefix only once it
+    // dominates the allocation.
+    if (head_ >= 64 && head_ * 2 >= entries_.size()) {
+        entries_.erase(entries_.begin(),
+                       entries_.begin() + static_cast<long>(head_));
+        head_ = 0;
+    }
+}
+
+void
 LoadQueue::commitUpTo(SeqNum seq)
 {
-    while (!entries_.empty() && entries_.front().seq <= seq)
-        entries_.pop_front();
+    while (head_ < entries_.size() && entries_[head_].seq <= seq)
+        ++head_;
+    compactHead();
 }
 
 void
 LoadQueue::squashAfter(SeqNum seq)
 {
-    while (!entries_.empty() && entries_.back().seq > seq)
+    while (size() != 0 && entries_.back().seq > seq)
         entries_.pop_back();
 }
 

@@ -16,8 +16,8 @@
 #define SRLSIM_LSQ_LOAD_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -46,8 +46,8 @@ class LoadQueue
     explicit LoadQueue(const LoadQueueParams &params);
 
     unsigned capacity() const { return params_.capacity; }
-    std::size_t size() const { return entries_.size(); }
-    bool full() const { return entries_.size() >= params_.capacity; }
+    std::size_t size() const { return entries_.size() - head_; }
+    bool full() const { return size() >= params_.capacity; }
 
     /** Allocate at rename, in program order. @pre !full() */
     void allocate(SeqNum seq, CheckpointId ckpt);
@@ -80,7 +80,12 @@ class LoadQueue
     /** Squash all loads with seq > @p seq. */
     void squashAfter(SeqNum seq);
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        entries_.clear();
+        head_ = 0;
+    }
 
     mutable stats::Scalar camSearches;
     mutable stats::Scalar camEntriesSearched;
@@ -98,11 +103,20 @@ class LoadQueue
         bool executed = false;
     };
 
-    /** First entry with seq >= @p seq (entries are seq-sorted). */
-    std::deque<Entry>::iterator lowerBound(SeqNum seq);
+    /** First live index with entry seq >= @p seq (seq-sorted). */
+    std::size_t lowerBound(SeqNum seq) const;
+    void compactHead();
 
     LoadQueueParams params_;
-    std::deque<Entry> entries_; ///< oldest at front
+    /**
+     * Seq-sorted entries on one contiguous allocation with an amortized
+     * head offset (commits advance head_; the dead prefix is reclaimed
+     * in batches), replacing a std::deque whose chunked iterators made
+     * the per-store CAM walk and binary search two dependent loads per
+     * step. Live range is [head_, entries_.size()).
+     */
+    std::vector<Entry> entries_;
+    std::size_t head_ = 0;
 };
 
 } // namespace lsq

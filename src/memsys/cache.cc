@@ -21,7 +21,9 @@ Cache::Cache(const CacheParams &params) : params_(params)
     fatal_if(!isPowerOf2(num_sets_), "%s: set count must be a power of "
              "two", params_.name.c_str());
     line_shift_ = floorLog2(params_.line_bytes);
+    set_shift_ = floorLog2(num_sets_);
     lines_.resize(lines);
+    tags_.assign(lines, kNoTag);
 }
 
 Addr
@@ -39,7 +41,7 @@ Cache::setIndex(Addr addr) const
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return addr >> line_shift_ >> floorLog2(num_sets_);
+    return addr >> line_shift_ >> set_shift_;
 }
 
 Cache::Line *
@@ -47,10 +49,10 @@ Cache::findLine(Addr addr)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
+    const Addr *tags = tags_.data() + std::size_t{set} * params_.assoc;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == tag)
-            return &line;
+        if (tags[w] == tag)
+            return &lines_[std::size_t{set} * params_.assoc + w];
     }
     return nullptr;
 }
@@ -98,7 +100,7 @@ Cache::access(Addr addr, bool is_write)
     if (victim->valid && victim->dirty) {
         ++writebacks;
         result.writeback = true;
-        result.victim_line = (victim->tag << floorLog2(num_sets_) | set)
+        result.victim_line = (victim->tag << set_shift_ | set)
                              << line_shift_;
     }
 
@@ -110,6 +112,8 @@ Cache::access(Addr addr, bool is_write)
     victim->speculative = false;
     victim->spec_ckpt = kInvalidCheckpoint;
     victim->lru = ++use_stamp_;
+    tags_[static_cast<std::size_t>(victim - lines_.data())] =
+        victim->tag;
     return result;
 }
 
@@ -144,6 +148,7 @@ Cache::invalidate(Addr addr)
         line->dirty = false;
         line->speculative = false;
         line->spec_ckpt = kInvalidCheckpoint;
+        tags_[static_cast<std::size_t>(line - lines_.data())] = kNoTag;
     }
 }
 
@@ -155,8 +160,11 @@ Cache::markSpeculative(Addr addr, CheckpointId ckpt)
              static_cast<unsigned long long>(addr));
     if (line->speculative && line->spec_ckpt != ckpt)
         return false; // single-version constraint: caller must stall
-    if (!line->speculative)
+    if (!line->speculative) {
         ++spec_lines_;
+        spec_idx_.push_back(static_cast<std::uint32_t>(
+            line - lines_.data()));
+    }
     line->speculative = true;
     line->spec_ckpt = ckpt;
     return true;
@@ -196,33 +204,52 @@ Cache::commitCheckpoint(CheckpointId ckpt)
     // The common configurations (temporary updates in the forwarding
     // cache, not the data cache) never mark lines speculative, so the
     // bulk walk short-circuits on the live count.
-    if (spec_lines_ == 0)
+    if (spec_lines_ == 0) {
+        spec_idx_.clear();
         return;
-    for (Line &line : lines_) {
-        if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
+    }
+    std::size_t keep = 0;
+    for (const std::uint32_t i : spec_idx_) {
+        Line &line = lines_[i];
+        if (!line.valid || !line.speculative)
+            continue; // stale: cleared since it was recorded
+        if (line.spec_ckpt == ckpt) {
             line.speculative = false;
             line.spec_ckpt = kInvalidCheckpoint;
             --spec_lines_;
+        } else {
+            spec_idx_[keep++] = i;
         }
     }
+    spec_idx_.resize(keep);
 }
 
 unsigned
 Cache::squashCheckpoint(CheckpointId ckpt)
 {
     unsigned discarded = 0;
-    if (spec_lines_ == 0)
+    if (spec_lines_ == 0) {
+        spec_idx_.clear();
         return discarded;
-    for (Line &line : lines_) {
-        if (line.valid && line.speculative && line.spec_ckpt == ckpt) {
+    }
+    std::size_t keep = 0;
+    for (const std::uint32_t i : spec_idx_) {
+        Line &line = lines_[i];
+        if (!line.valid || !line.speculative)
+            continue; // stale: cleared since it was recorded
+        if (line.spec_ckpt == ckpt) {
             line.valid = false;
             line.dirty = false;
             line.speculative = false;
             line.spec_ckpt = kInvalidCheckpoint;
+            tags_[i] = kNoTag;
             --spec_lines_;
             ++discarded;
+        } else {
+            spec_idx_[keep++] = i;
         }
     }
+    spec_idx_.resize(keep);
     return discarded;
 }
 
@@ -230,17 +257,22 @@ unsigned
 Cache::squashAllSpeculative()
 {
     unsigned discarded = 0;
-    if (spec_lines_ == 0)
+    if (spec_lines_ == 0) {
+        spec_idx_.clear();
         return discarded;
-    for (Line &line : lines_) {
+    }
+    for (const std::uint32_t i : spec_idx_) {
+        Line &line = lines_[i];
         if (line.valid && line.speculative) {
             line.valid = false;
             line.dirty = false;
             line.speculative = false;
             line.spec_ckpt = kInvalidCheckpoint;
+            tags_[i] = kNoTag;
             ++discarded;
         }
     }
+    spec_idx_.clear();
     spec_lines_ = 0;
     return discarded;
 }

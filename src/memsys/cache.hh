@@ -127,6 +127,10 @@ class Cache
         std::uint64_t lru = 0; ///< last-use stamp; larger = more recent
     };
 
+    /** tags_ value for an invalid way: no real tag reaches it (it
+     * would need a byte address of 2^64 - line). */
+    static constexpr Addr kNoTag = ~Addr{0};
+
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
     Line *findLine(Addr addr);
@@ -135,7 +139,24 @@ class Cache
     CacheParams params_;
     unsigned num_sets_;
     unsigned line_shift_;
+    unsigned set_shift_; ///< log2(num_sets_)
     std::vector<Line> lines_; ///< num_sets_ x assoc, row-major
+    /**
+     * Tag lane: tags_[i] mirrors lines_[i]'s tag, kNoTag when the way
+     * is invalid. The lookup that every load/store/probe performs scans
+     * this dense lane — one cache line covers a whole 8-way set —
+     * instead of striding through the 32-byte Line records.
+     */
+    std::vector<Addr> tags_;
+    /**
+     * Indices of lines marked speculative since the last bulk walk.
+     * The per-checkpoint commit/squash walks visit only these instead
+     * of every line; entries can go stale (the line was evicted or
+     * invalidated in between, possibly re-marked and re-appended), so
+     * every visit re-checks the line's current state before acting and
+     * the walk compacts survivors in place.
+     */
+    std::vector<std::uint32_t> spec_idx_;
     std::uint64_t use_stamp_ = 0;
     /**
      * Count of currently speculative lines; lets the per-checkpoint

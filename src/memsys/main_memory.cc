@@ -1,5 +1,7 @@
 #include "memsys/main_memory.hh"
 
+#include <cstring>
+
 #include "common/logging.hh"
 
 namespace srl
@@ -10,32 +12,31 @@ namespace memsys
 const MainMemory::Page *
 MainMemory::findPage(Addr addr) const
 {
-    // One-entry page cache: accesses cluster heavily within a page,
-    // and Page storage is stable (unique_ptr payloads never move, and
-    // pages are never individually removed).
     const Addr idx = addr >> kPageShift;
-    if (idx == last_idx_)
-        return last_page_;
+    const std::size_t slot = idx & (kPageCacheSlots - 1);
+    if (cache_idx_[slot] == idx)
+        return cache_page_[slot];
     const auto it = pages_.find(idx);
-    last_idx_ = idx;
-    last_page_ = it == pages_.end() ? nullptr : it->second.get();
-    return last_page_;
+    cache_idx_[slot] = idx;
+    cache_page_[slot] = it == pages_.end() ? nullptr : it->second.get();
+    return cache_page_[slot];
 }
 
 MainMemory::Page &
 MainMemory::touchPage(Addr addr)
 {
     const Addr idx = addr >> kPageShift;
-    if (idx == last_idx_ && last_page_)
-        return *last_page_;
-    auto &slot = pages_[idx];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
+    const std::size_t slot = idx & (kPageCacheSlots - 1);
+    if (cache_idx_[slot] == idx && cache_page_[slot])
+        return *cache_page_[slot];
+    auto &entry = pages_[idx];
+    if (!entry) {
+        entry = std::make_unique<Page>();
+        entry->fill(0);
     }
-    last_idx_ = idx;
-    last_page_ = slot.get();
-    return *slot;
+    cache_idx_[slot] = idx;
+    cache_page_[slot] = entry.get();
+    return *entry;
 }
 
 std::uint64_t
@@ -49,6 +50,14 @@ MainMemory::read(Addr addr, unsigned size) const
         if (!page)
             return 0;
         const std::size_t off = addr & (kPageBytes - 1);
+        if (off + 8 <= kPageBytes) {
+            // One little-endian word load covers every size; mask off
+            // the bytes beyond the access.
+            std::memcpy(&value, page->data() + off, 8);
+            if (size < 8)
+                value &= (1ull << (8 * size)) - 1;
+            return value;
+        }
         for (unsigned i = 0; i < size; ++i)
             value |= static_cast<std::uint64_t>((*page)[off + i])
                      << (8 * i);
@@ -71,8 +80,9 @@ MainMemory::write(Addr addr, unsigned size, std::uint64_t value)
     if (((addr + size - 1) >> kPageShift) == (addr >> kPageShift)) {
         Page &page = touchPage(addr);
         const std::size_t off = addr & (kPageBytes - 1);
-        for (unsigned i = 0; i < size; ++i)
-            page[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        // The low `size` bytes of a little-endian value are exactly
+        // the bytes to store.
+        std::memcpy(page.data() + off, &value, size);
         return;
     }
     for (unsigned i = 0; i < size; ++i) {

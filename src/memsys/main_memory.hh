@@ -46,13 +46,19 @@ class MainMemory
     /** Number of pages materialized so far (for tests/stats). */
     std::size_t pageCount() const { return pages_.size(); }
 
+    MainMemory()
+    {
+        cache_idx_.fill(~static_cast<Addr>(0));
+        cache_page_.fill(nullptr);
+    }
+
     /** Reset to the all-zero image. */
     void
     clear()
     {
         pages_.clear();
-        last_idx_ = ~static_cast<Addr>(0);
-        last_page_ = nullptr;
+        cache_idx_.fill(~static_cast<Addr>(0));
+        cache_page_.fill(nullptr);
     }
 
   private:
@@ -62,10 +68,15 @@ class MainMemory
     Page &touchPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
-    // One-entry page cache (see findPage). A missing page is cached as
-    // nullptr, so touchPage must not trust a null hit.
-    mutable Addr last_idx_ = ~static_cast<Addr>(0);
-    mutable Page *last_page_ = nullptr;
+    // Direct-mapped page-pointer cache (see findPage): workloads
+    // stride several pages at once, which a one-entry cache thrashes
+    // on. A missing page is cached as nullptr, so touchPage must not
+    // trust a null hit. Page payloads are stable (unique_ptr, never
+    // individually removed), so cached pointers stay valid until
+    // clear().
+    static constexpr std::size_t kPageCacheSlots = 64;
+    mutable std::array<Addr, kPageCacheSlots> cache_idx_;
+    mutable std::array<Page *, kPageCacheSlots> cache_page_;
 };
 
 } // namespace memsys

@@ -16,45 +16,8 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherParams &params)
 }
 
 void
-StreamPrefetcher::observeMiss(Addr addr, const IssueFn &issue)
+StreamPrefetcher::allocateStream(Addr line)
 {
-    const Addr line = alignDown(addr, params_.line_bytes);
-
-    // Look for a stream near this line. Demand accesses are issued by
-    // an out-of-order core, so matching tolerates a few lines of skew
-    // around the expected next line.
-    const Addr slack = static_cast<Addr>(params_.match_slack) *
-                       params_.line_bytes;
-    for (auto &s : streams_) {
-        if (!s.valid)
-            continue;
-        const Addr lo = s.next_line > slack ? s.next_line - slack : 0;
-        const Addr hi = s.next_line + slack;
-        if (line < lo || line > hi)
-            continue;
-        s.lru = ++stamp_;
-        if (line >= s.next_line)
-            s.next_line = line + params_.line_bytes;
-        if (s.confidence < params_.train_threshold) {
-            ++s.confidence;
-        }
-        if (s.confidence >= params_.train_threshold) {
-            // Armed: keep the prefetch edge 'degree' lines ahead.
-            const Addr want_edge =
-                line + static_cast<Addr>(params_.degree) *
-                           params_.line_bytes;
-            if (s.prefetch_edge < line)
-                s.prefetch_edge = line;
-            while (s.prefetch_edge < want_edge) {
-                s.prefetch_edge += params_.line_bytes;
-                issue(s.prefetch_edge);
-                ++issued;
-            }
-        }
-        return;
-    }
-
-    // No stream matched: allocate (replace LRU) a tentative stream.
     Stream *victim = &streams_[0];
     for (auto &s : streams_) {
         if (!s.valid) {

@@ -9,7 +9,6 @@
 #define SRLSIM_MEMSYS_PREFETCHER_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
@@ -32,15 +31,58 @@ struct PrefetcherParams
 class StreamPrefetcher
 {
   public:
-    using IssueFn = std::function<void(Addr line_addr)>;
-
     explicit StreamPrefetcher(const PrefetcherParams &params);
 
     /**
      * Observe a demand miss at @p addr; may synchronously call
-     * @p issue for each line to prefetch.
+     * @p issue(Addr line_addr) for each line to prefetch. Templated on
+     * the callable so the per-miss hot path pays no std::function
+     * construction or indirect-call cost.
      */
-    void observeMiss(Addr addr, const IssueFn &issue);
+    template <typename IssueFn>
+    void
+    observeMiss(Addr addr, const IssueFn &issue)
+    {
+        const Addr line = addr & ~static_cast<Addr>(params_.line_bytes -
+                                                    1);
+
+        // Look for a stream near this line. Demand accesses are issued
+        // by an out-of-order core, so matching tolerates a few lines of
+        // skew around the expected next line.
+        const Addr slack = static_cast<Addr>(params_.match_slack) *
+                           params_.line_bytes;
+        for (auto &s : streams_) {
+            if (!s.valid)
+                continue;
+            const Addr lo = s.next_line > slack ? s.next_line - slack
+                                                : 0;
+            const Addr hi = s.next_line + slack;
+            if (line < lo || line > hi)
+                continue;
+            s.lru = ++stamp_;
+            if (line >= s.next_line)
+                s.next_line = line + params_.line_bytes;
+            if (s.confidence < params_.train_threshold) {
+                ++s.confidence;
+            }
+            if (s.confidence >= params_.train_threshold) {
+                // Armed: keep the prefetch edge 'degree' lines ahead.
+                const Addr want_edge =
+                    line + static_cast<Addr>(params_.degree) *
+                               params_.line_bytes;
+                if (s.prefetch_edge < line)
+                    s.prefetch_edge = line;
+                while (s.prefetch_edge < want_edge) {
+                    s.prefetch_edge += params_.line_bytes;
+                    issue(s.prefetch_edge);
+                    ++issued;
+                }
+            }
+            return;
+        }
+
+        allocateStream(line);
+    }
 
     stats::Scalar issued;
     stats::Scalar streamsAllocated;
@@ -54,6 +96,9 @@ class StreamPrefetcher
         Addr prefetch_edge = 0; ///< highest line prefetched so far
         std::uint64_t lru = 0;
     };
+
+    /** Allocate (replace LRU) a tentative stream for @p line. */
+    void allocateStream(Addr line);
 
     PrefetcherParams params_;
     std::vector<Stream> streams_;

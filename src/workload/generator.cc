@@ -251,7 +251,7 @@ Generator::next(isa::Uop &out)
 
     const std::size_t slot = cursor_;
     const StaticUop &s = slots_[slot];
-    cursor_ = (cursor_ + 1) % slots_.size();
+    cursor_ = cursor_ + 1 == slots_.size() ? 0 : cursor_ + 1;
 
     out = isa::Uop{};
     out.seq = emitted_;

@@ -168,7 +168,7 @@ TEST(SrlAccounting, LcfCountersReturnToZero)
     // is zero (the stat counters may differ by bulk clears during
     // rollbacks-to-origin, which reset counters without crediting
     // per-store removals).
-    EXPECT_TRUE(lcf->bloom().allZero());
+    EXPECT_TRUE(lcf->allZero());
     EXPECT_GE(lcf->inserts.value(), lcf->removes.value());
 }
 

@@ -13,6 +13,10 @@ Usage:
     tools/bench_gate.py --fresh BENCH_fig6.json \
         --baseline bench/baselines/BENCH_fig6.json [--max-regress 0.15]
 
+--fresh/--baseline may be repeated (in matching order) to gate several
+benchmarks in one invocation; every pair is checked and the gate fails
+if any of them regressed.
+
 Exit status: 0 = pass, 1 = regression, 2 = bad input.
 """
 
@@ -35,19 +39,10 @@ def load(path):
     return data
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--fresh", required=True,
-                    help="JSON summary from this run")
-    ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON summary")
-    ap.add_argument("--max-regress", type=float, default=0.15,
-                    help="maximum allowed fractional throughput loss "
-                         "(default 0.15)")
-    args = ap.parse_args()
-
-    fresh = load(args.fresh)
-    base = load(args.baseline)
+def gate_one(fresh_path, base_path, max_regress):
+    """Check one fresh/baseline pair; return True when it passes."""
+    fresh = load(fresh_path)
+    base = load(base_path)
 
     if fresh["uops"] != base["uops"]:
         print(f"bench_gate: workload mismatch: fresh simulated "
@@ -62,14 +57,38 @@ def main():
         sys.exit(2)
 
     ratio = fresh_rate / base_rate
-    verdict = "PASS" if ratio >= 1.0 - args.max_regress else "FAIL"
-    print(f"bench_gate: baseline {base_rate:,.0f} uops/s "
+    verdict = "PASS" if ratio >= 1.0 - max_regress else "FAIL"
+    name = fresh.get("bench", fresh_path)
+    print(f"bench_gate: {name}: baseline {base_rate:,.0f} uops/s "
           f"({base.get('commit', '?')[:12]}, {base.get('date', '?')}) "
           f"-> fresh {fresh_rate:,.0f} uops/s "
           f"({fresh.get('commit', '?')[:12]}): "
           f"{(ratio - 1.0) * 100:+.1f}% [{verdict}, "
-          f"tolerance -{args.max_regress * 100:.0f}%]")
-    if verdict == "FAIL":
+          f"tolerance -{max_regress * 100:.0f}%]")
+    return verdict == "PASS"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, action="append",
+                    help="JSON summary from this run (repeatable)")
+    ap.add_argument("--baseline", required=True, action="append",
+                    help="committed baseline JSON summary (repeatable, "
+                         "matched to --fresh in order)")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="maximum allowed fractional throughput loss "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    if len(args.fresh) != len(args.baseline):
+        print(f"bench_gate: {len(args.fresh)} --fresh but "
+              f"{len(args.baseline)} --baseline", file=sys.stderr)
+        sys.exit(2)
+
+    ok = True
+    for fresh_path, base_path in zip(args.fresh, args.baseline):
+        ok = gate_one(fresh_path, base_path, args.max_regress) and ok
+    if not ok:
         print("bench_gate: model throughput regressed beyond the "
               "tolerance; investigate before merging (or refresh the "
               "baseline if the slowdown is an accepted trade)",

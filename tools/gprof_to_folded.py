@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Convert a gprof report into folded-stacks flamegraph input.
+
+Reads `gprof -b` output (flat profile + call graph) and writes one
+folded line per profiled function, `caller;function weight`, where the
+weight is the function's self time in milliseconds. The result feeds
+any folded-stacks consumer (flamegraph.pl, speedscope, inferno) the
+same way `perf script | stackcollapse-perf.pl` output does.
+
+gprof's call graph only records one level of caller context (and its
+timings are propagation estimates), so the stacks here are at most two
+frames deep: enough to see *where* self time concentrates and from
+which callers, which is what the CI artifact is for. Functions whose
+callers gprof cannot attribute (spontaneous roots) fold to a single
+frame.
+
+Usage:
+    gprof build-prof/bench/fig6_srl_performance gmon.out > prof.txt
+    tools/gprof_to_folded.py prof.txt > fig6.folded
+"""
+
+import re
+import sys
+
+
+def parse_flat(lines):
+    """Self-time (seconds) per function from the flat profile."""
+    self_s = {}
+    in_flat = False
+    for line in lines:
+        if line.lstrip().startswith("%") and "cumulative" in line:
+            in_flat = True
+            continue
+        if in_flat:
+            if not line.strip():
+                in_flat = False
+                continue
+            # % time  cum-s  self-s  [calls  self-ms  total-ms]  name
+            m = re.match(
+                r"\s*[\d.]+\s+[\d.]+\s+([\d.]+)\s+(?:[\d]+\s+"
+                r"[\d.]+\s+[\d.]+\s+)?(.+?)\s*$", line)
+            if m:
+                self_s[m.group(2)] = float(m.group(1))
+    return self_s
+
+
+def parse_callers(lines):
+    """caller -> callee -> attributed self seconds, from the call graph.
+
+    Within one call-graph entry, the lines above the primary line
+    (`[N] ...`) are the callers; each carries the self time gprof
+    propagates to that caller.
+    """
+    attributed = {}
+    entry = []
+    in_graph = False
+    for line in lines:
+        if re.match(r"\s*index\s+%\s*time", line):
+            in_graph = True
+            continue
+        if not in_graph:
+            continue
+        if line.startswith("\x0c"):
+            in_graph = False
+            continue
+        if re.match(r"-+\s*$", line):
+            primary = None
+            for ln in entry:
+                if re.match(r"\[\d+\]", ln.lstrip()):
+                    primary = ln
+                    break
+            if primary is not None:
+                pm = re.match(
+                    r"\s*\[\d+\]\s+[\d.]+\s+[\d.]+\s+[\d.]+\s+"
+                    r"(?:[\d+]+\s+)?(.+?)\s+\[\d+\]", primary)
+                if pm:
+                    callee = pm.group(1)
+                    for ln in entry[:entry.index(primary)]:
+                        cm = re.match(
+                            r"\s+([\d.]+)\s+[\d.]+\s+(?:[\d/]+\s+)?"
+                            r"(.+?)\s+\[\d+\]", ln)
+                        if cm and float(cm.group(1)) > 0:
+                            attributed.setdefault(callee, {})[
+                                cm.group(2)] = float(cm.group(1))
+            entry = []
+            continue
+        entry.append(line)
+    return attributed
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1], encoding="utf-8", errors="replace") as f:
+        lines = f.readlines()
+
+    self_s = parse_flat(lines)
+    callers = parse_callers(lines)
+    if not self_s:
+        print("gprof_to_folded: no flat profile found (is this "
+              "`gprof -b` output?)", file=sys.stderr)
+        sys.exit(2)
+
+    emitted = 0
+    for func, total in sorted(self_s.items(), key=lambda kv: -kv[1]):
+        if total <= 0:
+            continue
+        by_caller = callers.get(func, {})
+        spread = sum(by_caller.values())
+        rest = total
+        # Scale caller attribution so it never exceeds flat self time
+        # (gprof's propagation rounds independently in each section).
+        scale = min(1.0, total / spread) if spread > 0 else 0.0
+        for caller, secs in sorted(by_caller.items()):
+            ms = int(round(secs * scale * 1000))
+            if ms > 0:
+                print(f"{caller};{func} {ms}")
+                rest -= secs * scale
+                emitted += 1
+        ms = int(round(rest * 1000))
+        if ms > 0:
+            print(f"{func} {ms}")
+            emitted += 1
+    if emitted == 0:
+        print("gprof_to_folded: profile had no nonzero samples",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
