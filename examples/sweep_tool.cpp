@@ -11,7 +11,8 @@
  * regardless of --jobs — CI runs the sweep at --jobs 1 and --jobs 4
  * and diffs the two files. Timing and job count are deliberately kept
  * out of the report for that reason; the wall-clock summary goes to
- * stderr.
+ * stderr. The same identity holds across execution backends: --server
+ * and --cache-dir produce the byte-exact report of a direct local run.
  *
  * Options:
  *   --jobs N     worker threads (default: all hardware threads)
@@ -21,6 +22,15 @@
  *   --suite NAME suite to sweep (default SFP2K)
  *   --uops N     uops per run (default 150000)
  *
+ * Execution backends (default: simulate locally, nothing cached):
+ *   --server SOCK      submit the sweep to a serve_tool daemon on the
+ *                      given unix socket instead of simulating here
+ *   --cache-dir DIR    simulate locally but memoize each point in a
+ *                      content-addressed store; reruns with the same
+ *                      (config, suite, uops, seed) replay from disk
+ *   --server-stats FILE  after a --server sweep, fetch the daemon's
+ *                      service/cache counters and write them here
+ *
  * Observability (probe capture rides along with the sweep):
  *   --trace-out FILE    capture one point instrumented and write its
  *                       Chrome/Perfetto trace JSON (srlsim-trace-v1)
@@ -29,16 +39,22 @@
  *
  * Traces are captured on the worker threads and are byte-identical
  * regardless of --jobs, so the CI determinism diff covers them too.
+ * Tracing is local-only: it cannot be combined with --server or
+ * --cache-dir (an instrumented run is not the cacheable artifact).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "runner/sweep.hh"
+#include "service/client.hh"
+#include "service/result_cache.hh"
+#include "service/service.hh"
 
 using namespace srl;
 
@@ -51,6 +67,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--seed S] [--out FILE] "
                  "[--csv FILE] [--suite NAME] [--uops N] "
+                 "[--server SOCK] [--cache-dir DIR] "
+                 "[--server-stats FILE] "
                  "[--trace-out FILE] [--trace-point NAME] "
                  "[--sample-every N]\n",
                  argv0);
@@ -85,6 +103,9 @@ main(int argc, char **argv)
     std::string out_path = "-";
     std::string csv_path;
     std::string suite_name = "SFP2K";
+    std::string server_socket;
+    std::string cache_dir;
+    std::string server_stats_path;
     std::string trace_path;
     std::string trace_point = "srl-depth-1024";
     std::uint64_t sample_every = 64;
@@ -107,6 +128,12 @@ main(int argc, char **argv)
             suite_name = v;
         } else if (const char *v = arg("--uops")) {
             uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--server")) {
+            server_socket = v;
+        } else if (const char *v = arg("--cache-dir")) {
+            cache_dir = v;
+        } else if (const char *v = arg("--server-stats")) {
+            server_stats_path = v;
         } else if (const char *v = arg("--trace-out")) {
             trace_path = v;
         } else if (const char *v = arg("--trace-point")) {
@@ -117,42 +144,67 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    if (!trace_path.empty() &&
+        (!server_socket.empty() || !cache_dir.empty())) {
+        std::fprintf(stderr, "--trace-out is local-only; drop "
+                             "--server/--cache-dir to trace\n");
+        return 1;
+    }
+    if (!server_socket.empty() && !cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "--server and --cache-dir are exclusive (the "
+                     "daemon owns the cache in server mode)\n");
+        return 1;
+    }
 
-    const auto suite = workload::suiteProfile(suite_name);
+    // The canonical sweep as backend-neutral specs; the same specs
+    // drive the local runner, the memoized runner, and the daemon, so
+    // all three produce the same report bytes.
+    const std::vector<service::PointSpec> specs =
+        service::canonicalSweepSpecs(suite_name, uops, seed);
 
+    workload::SuiteProfile suite;
     std::vector<runner::SweepPoint> points;
-    const auto add = [&](const std::string &name,
-                         const core::ProcessorConfig &cfg) {
-        points.push_back({name, cfg, suite, uops});
-    };
-    add("baseline", core::baselineConfig());
-    for (const unsigned depth : {128u, 256u, 512u, 1024u}) {
-        auto cfg = core::srlConfig();
-        cfg.srl.srl.capacity = depth;
-        add("srl-depth-" + std::to_string(depth), cfg);
+    try {
+        suite = specs.front().materializeSuite();
+        if (server_socket.empty())
+            points = service::materializePoints(specs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
     }
-    for (const auto &[hname, hash] :
-         {std::pair<const char *, lsq::HashScheme>{
-              "lab", lsq::HashScheme::kLowerAddressBits},
-          std::pair<const char *, lsq::HashScheme>{
-              "3pax", lsq::HashScheme::kThreePieceXor}}) {
-        for (const unsigned entries : {256u, 2048u}) {
-            auto cfg = core::srlConfig();
-            cfg.srl.lcf.entries = entries;
-            cfg.srl.lcf.hash = hash;
-            add("lcf-" + std::to_string(entries) + "-" + hname, cfg);
-        }
-    }
-    add("hierarchical", core::hierarchicalConfig());
-    add("ideal-stq", core::idealConfig());
 
     runner::SweepOptions opts;
     opts.jobs = jobs;
     opts.seed = seed;
 
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+
     const auto t0 = std::chrono::steady_clock::now();
     stats::StatsReport rep;
-    if (trace_path.empty()) {
+    if (!server_socket.empty()) {
+        service::Client client;
+        if (!client.connect(server_socket))
+            return 1;
+        try {
+            rep = client.runSweep(specs, seed);
+            if (!server_stats_path.empty())
+                writeFile(server_stats_path,
+                          client.fetchStats().toJson());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "server sweep failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        cache_hits = client.lastCachedResults();
+        cache_misses = client.lastComputedResults();
+    } else if (!cache_dir.empty()) {
+        service::ResultCache cache({cache_dir, 0});
+        rep = service::runSweepCached(points, opts, cache);
+        cache_hits = cache.counters().hits;
+        cache_misses = cache.counters().misses;
+    } else if (trace_path.empty()) {
         rep = runner::runSweep(points, opts);
     } else {
         obs::ObsConfig capture;
@@ -185,5 +237,10 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "swept %zu points on %s in %.2fs (%u failed)\n",
                  rep.runs.size(), suite.name.c_str(), secs, failed);
+    if (!server_socket.empty() || !cache_dir.empty())
+        std::fprintf(stderr,
+                     "cache: %llu cached / %llu computed\n",
+                     static_cast<unsigned long long>(cache_hits),
+                     static_cast<unsigned long long>(cache_misses));
     return failed ? 1 : 0;
 }

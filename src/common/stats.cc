@@ -438,6 +438,8 @@ class JsonReader
             const char c = text_[pos_++];
             if (c == '"')
                 return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
             if (c != '\\') {
                 out += c;
                 continue;
@@ -469,9 +471,21 @@ class JsonReader
               case 'u': {
                 if (pos_ + 4 > text_.size())
                     fail("truncated \\u escape");
-                const std::string hex = text_.substr(pos_, 4);
+                long cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_ + i];
+                    int nibble;
+                    if (h >= '0' && h <= '9')
+                        nibble = h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        nibble = h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        nibble = h - 'A' + 10;
+                    else
+                        fail("bad \\u escape digit");
+                    cp = (cp << 4) | nibble;
+                }
                 pos_ += 4;
-                const long cp = std::strtol(hex.c_str(), nullptr, 16);
                 // Report strings only ever escape control chars.
                 out += static_cast<char>(cp & 0xff);
                 break;

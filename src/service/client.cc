@@ -1,0 +1,212 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace srl
+{
+namespace service
+{
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "client: socket path too long: %s\n",
+                     socket_path.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        std::perror("client: socket");
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "client: cannot connect to %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+void
+Client::sendLine(const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(
+            fd_, framed.data() + off, framed.size() - off,
+            MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            throw std::runtime_error("client: send failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+Client::readLine()
+{
+    while (true) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            throw std::runtime_error(
+                "client: connection closed by server");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+stats::StatsReport
+Client::runSweep(const std::vector<PointSpec> &points,
+                 std::uint64_t base_seed)
+{
+    if (!connected())
+        throw std::runtime_error("client: not connected");
+    last_cached_ = 0;
+    last_computed_ = 0;
+    last_busy_ = 0;
+
+    std::vector<stats::RunRecord> records(points.size());
+    std::vector<bool> have(points.size(), false);
+    std::size_t remaining = points.size();
+
+    // Submit ids are point indices; results may interleave with
+    // accepted/busy acks, so one read loop handles everything.
+    std::unordered_map<std::uint64_t, std::size_t> pending;
+    std::size_t next_submit = 0;
+
+    const auto submitOne = [&](std::size_t i) {
+        sendLine(submitLine(i, points[i]));
+        pending.emplace(i, i);
+    };
+
+    while (remaining > 0) {
+        while (next_submit < points.size() &&
+               pending.size() < 64) { // bounded submit window
+            submitOne(next_submit);
+            ++next_submit;
+        }
+
+        const std::string line = readLine();
+        json::Value msg = json::Value::parse(line);
+        const std::string op = msg.getString("op");
+        if (op == "accepted") {
+            continue;
+        } else if (op == "busy") {
+            const std::uint64_t id = msg.getU64("id");
+            const auto retry_ms = msg.getU64("retry_after_ms", 200);
+            ++last_busy_;
+            const auto it = pending.find(id);
+            if (it == pending.end())
+                throw std::runtime_error(
+                    "client: busy for unknown submit id");
+            const std::size_t idx = it->second;
+            pending.erase(it);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(retry_ms));
+            submitOne(idx);
+        } else if (op == "result") {
+            const std::uint64_t id = msg.getU64("id");
+            const auto it = pending.find(id);
+            if (it == pending.end())
+                throw std::runtime_error(
+                    "client: result for unknown submit id");
+            const std::size_t idx = it->second;
+            pending.erase(it);
+            if (!have[idx]) {
+                records[idx] = decodeResultRecord(msg);
+                have[idx] = true;
+                --remaining;
+                if (msg.getBool("cached") ||
+                    msg.getBool("coalesced"))
+                    ++last_cached_;
+                else
+                    ++last_computed_;
+            }
+        } else if (op == "error") {
+            throw std::runtime_error("client: server error: " +
+                                     msg.getString("message",
+                                                   "(no message)"));
+        } else {
+            throw std::runtime_error(
+                "client: unexpected server op '" + op + "'");
+        }
+    }
+
+    // Reassemble exactly what runner::runTasks would have written:
+    // names forced to the point names, meta carrying seed and count.
+    stats::StatsReport rep;
+    rep.meta["seed"] = std::to_string(base_seed);
+    rep.meta["points"] = std::to_string(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        records[i].name = points[i].name;
+    rep.runs = std::move(records);
+    return rep;
+}
+
+stats::StatsReport
+Client::fetchStats()
+{
+    if (!connected())
+        throw std::runtime_error("client: not connected");
+    sendLine(statsLine());
+    while (true) {
+        const std::string line = readLine();
+        json::Value msg = json::Value::parse(line);
+        if (msg.getString("op") == "stats")
+            return stats::StatsReport::fromJson(
+                msg.at("report").asString());
+        // Skip stray messages (e.g. late results after an aborted
+        // sweep); anything else while waiting for stats is unexpected
+        // but harmless to ignore.
+    }
+}
+
+} // namespace service
+} // namespace srl

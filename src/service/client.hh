@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Client for the sweep daemon: connects to the unix socket, submits a
+ * batch of PointSpecs, rides out backpressure (busy responses are
+ * retried after the server's hint), collects results in any arrival
+ * order, and reassembles them into a StatsReport in point order —
+ * byte-identical to a direct runner::runSweep of the same points,
+ * because result payloads travel as srlsim-stats-v1 records and the
+ * report-level meta (seed, points) is reconstructed exactly the way
+ * runner::runTasks writes it.
+ */
+
+#ifndef SRLSIM_SERVICE_CLIENT_HH
+#define SRLSIM_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "service/protocol.hh"
+
+namespace srl
+{
+namespace service
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon socket; false + stderr note on failure. */
+    bool connect(const std::string &socket_path);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /**
+     * Submit every point, handle busy/retry, await all results, and
+     * return the report in point order. @p base_seed goes into
+     * rep.meta["seed"] (the specs already carry their derived
+     * run_seeds, so it does not influence execution here).
+     * @throws std::runtime_error on a connection failure or a
+     * server-reported error.
+     */
+    stats::StatsReport runSweep(const std::vector<PointSpec> &points,
+                                std::uint64_t base_seed);
+
+    /**
+     * Totals of the last runSweep: how many of its results came from
+     * the daemon's cache (disk hit or coalesced onto another run).
+     */
+    std::uint64_t lastCachedResults() const { return last_cached_; }
+    std::uint64_t lastComputedResults() const { return last_computed_; }
+    std::uint64_t lastBusyRetries() const { return last_busy_; }
+
+    /** Fetch the daemon's service/cache counters report. */
+    stats::StatsReport fetchStats();
+
+  private:
+    void sendLine(const std::string &line);
+    /** Blocking read of one line. @throws std::runtime_error on EOF. */
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string buffer_;
+    std::uint64_t last_cached_ = 0;
+    std::uint64_t last_computed_ = 0;
+    std::uint64_t last_busy_ = 0;
+};
+
+} // namespace service
+} // namespace srl
+
+#endif // SRLSIM_SERVICE_CLIENT_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Minimal JSON value type for the sweep-service wire protocol
+ * (srlsim-service-v1): parse one line-delimited message into a tree,
+ * read it field by field, and dump a tree back to a compact single
+ * line. Object member order is preserved on both sides so dumps are
+ * deterministic.
+ *
+ * This is deliberately separate from the srlsim-stats-v1 reader in
+ * common/stats.cc: that one is schema-driven and pinned to the report
+ * round-trip; this one is generic because protocol messages nest
+ * arbitrary small objects. Malformed input of any kind — truncation,
+ * bad escapes, trailing garbage, over-deep nesting — raises
+ * stats::ParseError, never UB.
+ */
+
+#ifndef SRLSIM_SERVICE_JSON_HH
+#define SRLSIM_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace srl
+{
+namespace service
+{
+namespace json
+{
+
+/** Parse failure; alias of the stats parser's error for one catch. */
+using ParseError = stats::ParseError;
+
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Value() = default;
+
+    static Value null() { return Value(); }
+    static Value
+    boolean(bool b)
+    {
+        Value v;
+        v.kind_ = Kind::kBool;
+        v.bool_ = b;
+        return v;
+    }
+    static Value
+    number(double n)
+    {
+        Value v;
+        v.kind_ = Kind::kNumber;
+        v.num_ = n;
+        return v;
+    }
+    static Value
+    str(std::string s)
+    {
+        Value v;
+        v.kind_ = Kind::kString;
+        v.str_ = std::move(s);
+        return v;
+    }
+    static Value
+    array()
+    {
+        Value v;
+        v.kind_ = Kind::kArray;
+        return v;
+    }
+    static Value
+    object()
+    {
+        Value v;
+        v.kind_ = Kind::kObject;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+
+    /** Typed accessors; throw ParseError on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<Value> &items() const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Object member by key; null when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Convenience getters with defaults for optional fields. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    double getNumber(const std::string &key, double fallback = 0) const;
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback = 0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Required-field getters; throw ParseError when absent. */
+    const Value &at(const std::string &key) const;
+
+    /** Builders (object/array only; throw on kind mismatch). */
+    Value &set(const std::string &key, Value v);
+    Value &push(Value v);
+
+    /**
+     * Compact single-line serialization (no spaces, members in
+     * insertion order, numbers via stats::formatDouble so a
+     * dump/parse/dump cycle is byte-stable).
+     */
+    std::string dump() const;
+
+    /**
+     * Parse exactly one JSON document; trailing non-whitespace is an
+     * error. @throws ParseError on any malformed input.
+     */
+    static Value parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+} // namespace json
+} // namespace service
+} // namespace srl
+
+#endif // SRLSIM_SERVICE_JSON_HH

@@ -1,0 +1,264 @@
+#include "service/result_cache.hh"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+#include <utility>
+#include <vector>
+
+namespace srl
+{
+namespace service
+{
+
+namespace
+{
+
+/** Report meta key recording the content address of the entry. */
+constexpr char kMetaKey[] = "chash";
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+} // namespace
+
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts))
+{
+    if (!opts_.dir.empty())
+        ensureDir(opts_.dir);
+}
+
+std::string
+ResultCache::entryPath(const chash::Hash128 &key) const
+{
+    return opts_.dir + "/" + key.toHex() + ".json";
+}
+
+bool
+ResultCache::readEntry(const std::string &path,
+                       const std::string &key_hex,
+                       stats::RunRecord &out, bool &corrupt)
+{
+    corrupt = false;
+    std::string text;
+    if (!readWholeFile(path, text))
+        return false; // absent (or unreadable): plain miss
+    try {
+        stats::StatsReport rep = stats::StatsReport::fromJson(text);
+        const auto it = rep.meta.find(kMetaKey);
+        if (it == rep.meta.end() || it->second != key_hex ||
+            rep.runs.size() != 1) {
+            corrupt = true;
+            return false;
+        }
+        // Never serve a persisted failure (shouldn't exist — failures
+        // are not stored — but a hand-edited entry must not wedge the
+        // key forever).
+        if (rep.runs.front().failed()) {
+            corrupt = true;
+            return false;
+        }
+        out = std::move(rep.runs.front());
+        return true;
+    } catch (const stats::ParseError &) {
+        // Truncated or garbled entry (e.g. pre-atomic-rename crash
+        // artifacts or bit rot): treat as a miss and recompute.
+        corrupt = true;
+        return false;
+    }
+}
+
+bool
+ResultCache::writeEntry(const std::string &path,
+                        const std::string &key_hex,
+                        const stats::RunRecord &record)
+{
+    stats::StatsReport rep;
+    rep.meta[kMetaKey] = key_hex;
+    rep.runs.push_back(record);
+    const std::string text = rep.toJson();
+
+    // Atomic publish: temp file + rename, so concurrent writers race
+    // benignly (identical contents) and interrupted writers leave no
+    // partial entry under the final name.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+void
+ResultCache::evictOverCap()
+{
+    if (opts_.max_entries == 0)
+        return;
+    DIR *d = ::opendir(opts_.dir.c_str());
+    if (!d)
+        return;
+    std::vector<std::pair<std::time_t, std::string>> entries;
+    while (const dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() != 37 ||
+            name.compare(name.size() - 5, 5, ".json") != 0)
+            continue; // 32 hex chars + ".json"; skip temp/foreign files
+        const std::string path = opts_.dir + "/" + name;
+        struct stat st{};
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        entries.emplace_back(st.st_mtime, path);
+    }
+    ::closedir(d);
+    if (entries.size() <= opts_.max_entries)
+        return;
+    std::sort(entries.begin(), entries.end());
+    const std::size_t excess = entries.size() - opts_.max_entries;
+    std::uint64_t evicted = 0;
+    for (std::size_t i = 0; i < excess; ++i) {
+        if (std::remove(entries[i].second.c_str()) == 0)
+            ++evicted;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.evictions += evicted;
+}
+
+bool
+ResultCache::lookup(const chash::Hash128 &key, stats::RunRecord &out)
+{
+    if (opts_.dir.empty())
+        return false;
+    bool corrupt = false;
+    return readEntry(entryPath(key), key.toHex(), out, corrupt);
+}
+
+ResultCache::GetResult
+ResultCache::getOrCompute(
+    const chash::Hash128 &key,
+    const std::function<stats::RunRecord()> &compute)
+{
+    const std::string hex = key.toHex();
+
+    std::shared_ptr<Inflight> mine;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto it = inflight_.find(hex);
+        if (it != inflight_.end()) {
+            ++counters_.coalesced;
+            std::shared_future<GetResult> fut = it->second->future;
+            lock.unlock(); // wait outside the lock
+            GetResult r = fut.get();
+            r.outcome = Outcome::kCoalesced;
+            return r;
+        }
+        mine = std::make_shared<Inflight>();
+        mine->future = mine->promise.get_future().share();
+        inflight_.emplace(hex, mine);
+    }
+
+    GetResult result;
+    bool corrupt = false;
+    const std::string path = opts_.dir.empty() ? "" : entryPath(key);
+    if (!path.empty() &&
+        readEntry(path, hex, result.record, corrupt)) {
+        result.outcome = Outcome::kHit;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.hits;
+    } else {
+        if (corrupt)
+            std::remove(path.c_str());
+        try {
+            result.record = compute();
+        } catch (const std::exception &e) {
+            result.record.error = e.what();
+        } catch (...) {
+            result.record.error = "unknown exception";
+        }
+        result.outcome = Outcome::kMiss;
+        bool stored = false;
+        bool store_failed = false;
+        if (!path.empty() && !result.record.failed()) {
+            stored = writeEntry(path, hex, result.record);
+            store_failed = !stored;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.misses;
+            if (corrupt)
+                ++counters_.corrupt_entries;
+            if (stored)
+                ++counters_.stores;
+            if (store_failed)
+                ++counters_.store_failures;
+        }
+        if (stored)
+            evictOverCap();
+    }
+
+    mine->promise.set_value(result);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(hex);
+    }
+    return result;
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+stats::RunRecord
+ResultCache::countersRecord() const
+{
+    const Counters c = counters();
+    stats::RunRecord rec;
+    rec.name = "result_cache";
+    rec.meta["dir"] = opts_.dir;
+    rec.set("hits", static_cast<double>(c.hits));
+    rec.set("misses", static_cast<double>(c.misses));
+    rec.set("coalesced", static_cast<double>(c.coalesced));
+    rec.set("stores", static_cast<double>(c.stores));
+    rec.set("store_failures", static_cast<double>(c.store_failures));
+    rec.set("corrupt_entries", static_cast<double>(c.corrupt_entries));
+    rec.set("evictions", static_cast<double>(c.evictions));
+    return rec;
+}
+
+} // namespace service
+} // namespace srl

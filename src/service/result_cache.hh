@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Disk-backed content-addressed store of completed simulation runs,
+ * with in-flight request coalescing.
+ *
+ * Every entry is one file, `<dir>/<32-hex-key>.json`, holding a
+ * single-run srlsim-stats-v1 report whose report-level meta records
+ * the content key. Writes are atomic (private temp file + rename, the
+ * workload stream-cache discipline), so a reader never observes a
+ * partial entry even when the writer is killed mid-write; reads
+ * validate the JSON schema, the embedded key, and the single-run
+ * shape, and treat any mismatch as a miss (the corrupt file is
+ * removed and recomputed). The cache can lose, never corrupt.
+ *
+ * getOrCompute() additionally dedupes *in-flight* work: N concurrent
+ * requests for the same key run exactly one computation; the rest
+ * block on a shared future and are counted as coalesced. Failed
+ * computations (records with a non-empty error) are delivered to all
+ * waiters but never persisted.
+ *
+ * With max_entries > 0 the store is bounded: after an insert pushes
+ * the entry count over the cap, the oldest entries (by file mtime) are
+ * evicted.
+ */
+
+#ifndef SRLSIM_SERVICE_RESULT_CACHE_HH
+#define SRLSIM_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/chash.hh"
+#include "common/stats.hh"
+
+namespace srl
+{
+namespace service
+{
+
+class ResultCache
+{
+  public:
+    struct Options
+    {
+        /** Cache directory; created on demand. Empty = in-flight
+         * coalescing only, nothing touches disk. */
+        std::string dir;
+        /** Bound on stored entries; 0 = unbounded. */
+        std::size_t max_entries = 0;
+    };
+
+    /** How getOrCompute satisfied a request. */
+    enum class Outcome : std::uint8_t
+    {
+        kHit,       ///< served from the disk store
+        kMiss,      ///< computed (and stored) by this call
+        kCoalesced, ///< joined another caller's in-flight computation
+    };
+
+    struct GetResult
+    {
+        stats::RunRecord record;
+        Outcome outcome = Outcome::kMiss;
+    };
+
+    /** Monotonic counters; snapshot via the accessors or statsReport. */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t store_failures = 0;
+        std::uint64_t corrupt_entries = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    explicit ResultCache(Options opts);
+
+    /**
+     * Return the record for @p key, computing it with @p compute on a
+     * miss. Thread-safe; concurrent calls with the same key coalesce
+     * onto one computation. @p compute must not throw — report
+     * failures through RunRecord::error (the sweep-runner convention);
+     * as a backstop a thrown exception is converted to an error
+     * record.
+     */
+    GetResult getOrCompute(
+        const chash::Hash128 &key,
+        const std::function<stats::RunRecord()> &compute);
+
+    /** Disk-only probe; true and fills @p out on a valid entry. */
+    bool lookup(const chash::Hash128 &key, stats::RunRecord &out);
+
+    Counters counters() const;
+
+    /** Counters as one srlsim-stats-v1 run ("result_cache"). */
+    stats::RunRecord countersRecord() const;
+
+    const Options &options() const { return opts_; }
+
+    /** Entry file path for @p key (for tests / inspection). */
+    std::string entryPath(const chash::Hash128 &key) const;
+
+  private:
+    struct Inflight
+    {
+        std::promise<GetResult> promise;
+        std::shared_future<GetResult> future;
+    };
+
+    bool readEntry(const std::string &path, const std::string &key_hex,
+                   stats::RunRecord &out, bool &corrupt);
+    bool writeEntry(const std::string &path, const std::string &key_hex,
+                    const stats::RunRecord &record);
+    void evictOverCap();
+
+    Options opts_;
+    mutable std::mutex mutex_;
+    Counters counters_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>>
+        inflight_;
+};
+
+} // namespace service
+} // namespace srl
+
+#endif // SRLSIM_SERVICE_RESULT_CACHE_HH

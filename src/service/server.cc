@@ -1,0 +1,255 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace srl
+{
+namespace service
+{
+
+namespace
+{
+
+constexpr int kPollTimeoutMs = 100;
+
+} // namespace
+
+Server::Server(SweepService &service, const ServerOptions &opts)
+    : service_(service), opts_(opts)
+{
+}
+
+Server::~Server()
+{
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        ::unlink(opts_.socket_path.c_str());
+    }
+}
+
+bool
+Server::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "serve: socket path too long: %s\n",
+                     opts_.socket_path.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        std::perror("serve: socket");
+        return false;
+    }
+    // A previous daemon that died uncleanly leaves the socket file
+    // behind; binding over it needs the unlink.
+    ::unlink(opts_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::perror("serve: bind");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::listen(listen_fd_, opts_.backlog) != 0) {
+        std::perror("serve: listen");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+Server::writeLine(const std::shared_ptr<Connection> &conn,
+                  const std::string &line)
+{
+    if (!conn->open.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        // MSG_NOSIGNAL: a client that hung up must cost us an EPIPE
+        // errno, not a process-killing SIGPIPE.
+        const ssize_t n =
+            ::send(conn->fd, framed.data() + off, framed.size() - off,
+                   MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            conn->open.store(false, std::memory_order_relaxed);
+            return; // dead client: drop the message, keep the work
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Server::handleConnection(const std::shared_ptr<Connection> &conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (!stopping() && conn->open.load(std::memory_order_relaxed)) {
+        pollfd pfd{conn->fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, kPollTimeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue; // timeout: re-check the stop flag
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // EOF or error
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t start = 0;
+        for (std::size_t nl = buffer.find('\n', start);
+             nl != std::string::npos;
+             nl = buffer.find('\n', start)) {
+            const std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (line.empty())
+                continue;
+
+            Request req;
+            try {
+                req = parseRequest(line);
+            } catch (const stats::ParseError &e) {
+                writeLine(conn, errorLine(0, e.what()));
+                continue;
+            }
+
+            if (req.op == "hello") {
+                writeLine(conn, welcomeLine("srlsim-serve/1"));
+            } else if (req.op == "stats") {
+                writeLine(conn,
+                          statsReportLine(service_.statsReport()));
+            } else if (req.op == "submit") {
+                const std::uint64_t id = req.id;
+                std::weak_ptr<Connection> weak = conn;
+                // Compute the key up front so "accepted" can echo it.
+                std::string key_hex;
+                try {
+                    const auto cfg = req.point.materializeConfig();
+                    const auto suite = req.point.materializeSuite();
+                    key_hex =
+                        chash::pointKey(cfg, suite, req.point.uops,
+                                        req.point.run_seed,
+                                        req.point.occupancy_series)
+                            .toHex();
+                } catch (const stats::ParseError &e) {
+                    writeLine(conn, errorLine(id, e.what()));
+                    continue;
+                }
+                const SweepService::Admit admit = service_.submit(
+                    conn->id, req.point,
+                    [this, weak, id](const stats::RunRecord &rec,
+                                     const chash::Hash128 &key,
+                                     ResultCache::Outcome outcome) {
+                        const auto c = weak.lock();
+                        if (!c)
+                            return;
+                        const bool cached =
+                            outcome == ResultCache::Outcome::kHit;
+                        const bool coalesced =
+                            outcome ==
+                            ResultCache::Outcome::kCoalesced;
+                        writeLine(c, resultLine(id, key.toHex(),
+                                                cached, coalesced,
+                                                rec));
+                    });
+                switch (admit) {
+                  case SweepService::Admit::kAccepted:
+                    writeLine(conn, acceptedLine(id, key_hex));
+                    break;
+                  case SweepService::Admit::kBusy:
+                    writeLine(conn,
+                              busyLine(id, service_.retryAfterMs()));
+                    break;
+                  case SweepService::Admit::kDraining:
+                    writeLine(conn, errorLine(id, "draining"));
+                    break;
+                }
+            }
+        }
+        buffer.erase(0, start);
+    }
+}
+
+std::uint64_t
+Server::run()
+{
+    std::uint64_t served = 0;
+    while (!stopping()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, kPollTimeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conn->id = next_conn_id_++;
+            connections_.push_back(conn);
+            conn_threads_.emplace_back(
+                [this, conn] { handleConnection(conn); });
+        }
+        ++served;
+    }
+
+    // Graceful drain: no new connections (loop exited), no new
+    // admissions past this point benefit from it (submits during the
+    // drain get "draining" errors once the service flips), every
+    // admitted job completes and flushes its result line.
+    service_.drain();
+
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (const auto &c : connections_) {
+            c->open.store(false, std::memory_order_relaxed);
+            ::shutdown(c->fd, SHUT_RDWR);
+        }
+    }
+    for (auto &t : conn_threads_)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (const auto &c : connections_)
+            ::close(c->fd);
+        connections_.clear();
+        conn_threads_.clear();
+    }
+    return served;
+}
+
+} // namespace service
+} // namespace srl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unix-domain-socket front end for the sweep service: accepts
+ * connections, reads line-delimited srlsim-service-v1 requests,
+ * dispatches submits into the SweepService, and writes responses.
+ *
+ * Threading: one accept loop (run()), one reader thread per
+ * connection. Result callbacks fire on simulation worker threads and
+ * write directly to the client socket under the connection's write
+ * mutex, so responses never interleave mid-line; a connection that
+ * died first simply drops its results (send errors are ignored, the
+ * cache keeps the completed work). requestStop() is async-signal-safe
+ * to *flag* from a handler: both loops poll with a short timeout and
+ * observe the flag. run() then stops accepting, drains the service,
+ * and joins every connection thread before returning — the graceful
+ * SIGTERM path.
+ */
+
+#ifndef SRLSIM_SERVICE_SERVER_HH
+#define SRLSIM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hh"
+
+namespace srl
+{
+namespace service
+{
+
+struct ServerOptions
+{
+    std::string socket_path;
+    /** Listen backlog. */
+    int backlog = 16;
+};
+
+class Server
+{
+  public:
+    Server(SweepService &service, const ServerOptions &opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and listen on the unix socket (unlinking a stale socket
+     * file first). Returns false with a message on stderr on failure.
+     */
+    bool start();
+
+    /**
+     * Serve until requestStop(); then drain the sweep service, close
+     * every connection, and join all threads. Returns the number of
+     * connections served.
+     */
+    std::uint64_t run();
+
+    /** Ask run() to wind down; safe to call from a signal handler's
+     * flag path (only touches an atomic). */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    bool stopping() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::mutex write_mutex;
+        std::atomic<bool> open{true};
+    };
+
+    void handleConnection(const std::shared_ptr<Connection> &conn);
+    void writeLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+
+    SweepService &service_;
+    ServerOptions opts_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::uint64_t next_conn_id_ = 1;
+    std::vector<std::thread> conn_threads_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::mutex conns_mutex_;
+};
+
+} // namespace service
+} // namespace srl
+
+#endif // SRLSIM_SERVICE_SERVER_HH

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sweep service: start the daemon, run the
+# canonical sweep from several concurrent clients twice, and assert
+#   - round 2 is served entirely from the result cache (zero new
+#     simulations),
+#   - every served report is byte-identical to a direct local
+#     runner::runSweep of the same sweep,
+#   - SIGTERM drains gracefully (daemon exits 0 and writes its
+#     counters report).
+#
+# Usage: tools/service_smoke.sh <build-dir> [workdir]
+# Artifacts (reports, daemon stats, logs) are left in the workdir.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: service_smoke.sh <build-dir> [workdir]}
+WORK=${2:-$(mktemp -d /tmp/srlsim-service-smoke-XXXXXX)}
+SWEEP="$BUILD_DIR/examples/sweep_tool"
+SERVE="$BUILD_DIR/examples/serve_tool"
+SOCK="$WORK/daemon.sock"
+CLIENTS=4
+UOPS=20000
+SEED=42
+
+mkdir -p "$WORK"
+echo "service_smoke: workdir $WORK"
+
+# Reference: the same sweep, simulated directly.
+"$SWEEP" --jobs 2 --seed "$SEED" --uops "$UOPS" \
+    --out "$WORK/direct.json" 2> "$WORK/direct.log"
+
+"$SERVE" --socket "$SOCK" --cache-dir "$WORK/cache" --jobs 2 \
+    --stats-out "$WORK/daemon-stats.json" 2> "$WORK/daemon.log" &
+DAEMON_PID=$!
+trap 'kill -9 $DAEMON_PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "service_smoke: daemon never bound $SOCK"; exit 1; }
+
+run_round() {
+    local round=$1
+    local pids=()
+    for c in $(seq "$CLIENTS"); do
+        "$SWEEP" --seed "$SEED" --uops "$UOPS" --server "$SOCK" \
+            --out "$WORK/round$round-client$c.json" \
+            2> "$WORK/round$round-client$c.log" &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid"
+    done
+}
+
+echo "service_smoke: round 1 ($CLIENTS concurrent clients, cold cache)"
+run_round 1
+echo "service_smoke: round 2 (same sweep, must be fully cached)"
+run_round 2
+
+# Every client of every round got the byte-exact direct report.
+for f in "$WORK"/round*-client*.json; do
+    cmp "$WORK/direct.json" "$f" || {
+        echo "service_smoke: $f differs from the direct report"
+        exit 1
+    }
+done
+echo "service_smoke: all $((CLIENTS * 2)) served reports byte-identical to direct runSweep"
+
+# Round 2 performed zero simulations: every result was cached.
+for c in $(seq "$CLIENTS"); do
+    grep -q "cache: 11 cached / 0 computed" "$WORK/round2-client$c.log" || {
+        echo "service_smoke: round-2 client $c was not fully cached:"
+        cat "$WORK/round2-client$c.log"
+        exit 1
+    }
+done
+echo "service_smoke: round 2 served 100% from cache (0 simulations)"
+
+# Graceful SIGTERM drain.
+kill -TERM "$DAEMON_PID"
+DAEMON_RC=0
+wait "$DAEMON_PID" || DAEMON_RC=$?
+trap - EXIT
+if [ "$DAEMON_RC" -ne 0 ]; then
+    echo "service_smoke: daemon exited $DAEMON_RC on SIGTERM"
+    cat "$WORK/daemon.log"
+    exit 1
+fi
+[ -f "$WORK/daemon-stats.json" ] || {
+    echo "service_smoke: daemon wrote no stats report"
+    exit 1
+}
+python3 -m json.tool "$WORK/daemon-stats.json" > /dev/null
+echo "service_smoke: daemon drained cleanly; counters:"
+cat "$WORK/daemon-stats.json"
+echo "service_smoke: PASS"
