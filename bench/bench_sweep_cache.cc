@@ -7,9 +7,10 @@
  * (for tools/bench_gate.py) reports the *warm* throughput — the gated
  * quantity is how fast a fully cached sweep is served, which is pure
  * cache-read + codec work — alongside the cold wall time and the
- * cold/warm speedup for context. Warm wall is the best of several
- * rounds: a single warm replay is milliseconds, so min-of-N is the
- * noise defense on shared runners.
+ * cold/warm speedup for context. Warm wall is the mean over a
+ * min-duration repeat window (bench::repeatForAtLeast, >= 50 ms
+ * cumulative): a single warm replay is sub-millisecond, where one
+ * timing sample is mostly scheduler noise on shared runners.
  */
 
 #include <chrono>
@@ -86,22 +87,17 @@ main(int argc, char **argv)
         return 1;
     }
 
-    constexpr int kWarmRounds = 5;
-    double warm_wall = 0;
+    // A warm replay is sub-millisecond, so a fixed round count samples
+    // the CI runner's noise floor; instead repeat until >= 50 ms of
+    // cumulative warm work and report the mean per-iteration wall.
+    const std::uint64_t misses_before = cache.counters().misses;
     stats::StatsReport warm_rep;
-    for (int i = 0; i < kWarmRounds; ++i) {
-        const std::uint64_t misses_before = cache.counters().misses;
-        stats::StatsReport rep;
-        const double wall = sweepWall(points, opts, cache, rep);
-        if (cache.counters().misses != misses_before) {
-            std::fprintf(stderr,
-                         "warm round %d performed a simulation\n", i);
-            return 1;
-        }
-        if (i == 0 || wall < warm_wall) {
-            warm_wall = wall;
-            warm_rep = std::move(rep);
-        }
+    const bench::RepeatTiming warm_t = bench::repeatForAtLeast(
+        0.050, [&] { sweepWall(points, opts, cache, warm_rep); });
+    const double warm_wall = warm_t.perIterS();
+    if (cache.counters().misses != misses_before) {
+        std::fprintf(stderr, "a warm round performed a simulation\n");
+        return 1;
     }
     if (warm_rep.toJson() != cold_rep.toJson()) {
         std::fprintf(stderr, "warm report differs from cold report\n");
@@ -121,9 +117,11 @@ main(int argc, char **argv)
     std::printf("sweep cache: %zu points on %s, %" PRIu64
                 " uops/run\n",
                 points.size(), suite.name.c_str(), args.uops);
-    std::printf("cold: %.3f s | warm (best of %d): %.4f s | "
-                "speedup %.1fx\n",
-                cold_wall, kWarmRounds, warm_wall,
+    std::printf("cold: %.3f s | warm (mean of %llu iters over "
+                "%.3f s): %.4f s | speedup %.1fx\n",
+                cold_wall,
+                static_cast<unsigned long long>(warm_t.iters),
+                warm_t.total_s, warm_wall,
                 warm_wall > 0 ? cold_wall / warm_wall : 0);
     bench::printTiming(warm);
 

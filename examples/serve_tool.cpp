@@ -20,6 +20,9 @@
  *   --retry-ms N       retry hint sent with busy responses (default 200)
  *   --max-entries N    cap on stored cache entries, oldest evicted
  *                      (default 0 = unbounded)
+ *   --ckpt-dir DIR     srlsim-ckpt-v1 checkpoint directory for sampled
+ *                      points: shard requests restore from (and save
+ *                      into) this store
  *   --stats-out FILE   write the service/cache counters report
  *                      (srlsim-stats-v1) on exit
  *
@@ -58,7 +61,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--cache-dir DIR] [--jobs N] "
                  "[--queue-depth N] [--retry-ms N] [--max-entries N] "
-                 "[--stats-out FILE]\n",
+                 "[--ckpt-dir DIR] [--stats-out FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -107,6 +110,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--max-entries")) {
             max_entries = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--ckpt-dir")) {
+            svc_opts.ckpt_dir = v;
         } else if (const char *v = arg("--stats-out")) {
             stats_out = v;
         } else {

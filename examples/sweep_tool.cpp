@@ -37,6 +37,18 @@
  *   --trace-point NAME  which point to trace (default srl-depth-1024)
  *   --sample-every N    counter-timeline period in cycles (default 64)
  *
+ * Sampled simulation (two-tier fast-forward + detail; DESIGN.md §14):
+ *   --ff N       per-interval pure fast-forward uops
+ *   --warm N     per-interval warming fast-forward uops
+ *   --detail N   per-interval detailed uops (required when sampling)
+ *   --ckpt-dir DIR  save an srlsim-ckpt-v1 checkpoint at each
+ *                   detail-segment entry (local runs only; in --server
+ *                   mode the daemon's own --ckpt-dir applies)
+ * Any of --ff/--warm/--detail marks the sweep sampled: every point
+ * runs under that plan (runner::runSampled) instead of fully detailed.
+ * Sampling composes with --server (the plan travels in the point
+ * specs) but not with --cache-dir or --trace-out.
+ *
  * Traces are captured on the worker threads and are byte-identical
  * regardless of --jobs, so the CI determinism diff covers them too.
  * Tracing is local-only: it cannot be combined with --server or
@@ -51,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/sampled.hh"
 #include "runner/sweep.hh"
 #include "service/client.hh"
 #include "service/result_cache.hh"
@@ -70,7 +83,8 @@ usage(const char *argv0)
                  "[--server SOCK] [--cache-dir DIR] "
                  "[--server-stats FILE] "
                  "[--trace-out FILE] [--trace-point NAME] "
-                 "[--sample-every N]\n",
+                 "[--sample-every N] "
+                 "[--ff N] [--warm N] [--detail N] [--ckpt-dir DIR]\n",
                  argv0);
     std::exit(1);
 }
@@ -109,6 +123,10 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string trace_point = "srl-depth-1024";
     std::uint64_t sample_every = 64;
+    std::uint64_t ff_uops = 0;
+    std::uint64_t warm_uops = 0;
+    std::uint64_t detail_uops = 0;
+    std::string ckpt_dir;
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) {
@@ -140,9 +158,38 @@ main(int argc, char **argv)
             trace_point = v;
         } else if (const char *v = arg("--sample-every")) {
             sample_every = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--ff")) {
+            ff_uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--warm")) {
+            warm_uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--detail")) {
+            detail_uops = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--ckpt-dir")) {
+            ckpt_dir = v;
         } else {
             usage(argv[0]);
         }
+    }
+    const bool sampled = ff_uops || warm_uops || detail_uops;
+    if (sampled && detail_uops == 0) {
+        std::fprintf(stderr, "sampled sweeps need --detail > 0\n");
+        return 1;
+    }
+    if (sampled && (!cache_dir.empty() || !trace_path.empty())) {
+        std::fprintf(stderr,
+                     "--ff/--warm/--detail do not compose with "
+                     "--cache-dir or --trace-out\n");
+        return 1;
+    }
+    if (!ckpt_dir.empty() && !sampled) {
+        std::fprintf(stderr, "--ckpt-dir needs a sampling plan "
+                             "(--ff/--warm/--detail)\n");
+        return 1;
+    }
+    if (!ckpt_dir.empty() && !server_socket.empty()) {
+        std::fprintf(stderr, "--ckpt-dir is local-only; the daemon's "
+                             "own --ckpt-dir applies in server mode\n");
+        return 1;
     }
     if (!trace_path.empty() &&
         (!server_socket.empty() || !cache_dir.empty())) {
@@ -160,8 +207,15 @@ main(int argc, char **argv)
     // The canonical sweep as backend-neutral specs; the same specs
     // drive the local runner, the memoized runner, and the daemon, so
     // all three produce the same report bytes.
-    const std::vector<service::PointSpec> specs =
+    std::vector<service::PointSpec> specs =
         service::canonicalSweepSpecs(suite_name, uops, seed);
+    if (sampled) {
+        for (auto &s : specs) {
+            s.ff_uops = ff_uops;
+            s.warm_uops = warm_uops;
+            s.detail_uops = detail_uops;
+        }
+    }
 
     workload::SuiteProfile suite;
     std::vector<runner::SweepPoint> points;
@@ -199,6 +253,27 @@ main(int argc, char **argv)
         }
         cache_hits = client.lastCachedResults();
         cache_misses = client.lastComputedResults();
+    } else if (sampled) {
+        // One runSampled task per point; runTasks derives the same
+        // per-point seeds a detailed sweep would, so a sampled report
+        // is comparable row-for-row with the fully detailed one.
+        std::vector<runner::Task> tasks;
+        tasks.reserve(points.size());
+        for (const auto &p : points) {
+            tasks.push_back({p.name, [&p, ff_uops, warm_uops,
+                                      detail_uops, &ckpt_dir](
+                                         std::uint64_t run_seed) {
+                runner::SampledOptions sopts;
+                sopts.plan.ff_uops = ff_uops;
+                sopts.plan.warm_uops = warm_uops;
+                sopts.plan.detail_uops = detail_uops;
+                sopts.ckpt_dir = ckpt_dir;
+                return runner::runSampled(p.config, p.suite, p.uops,
+                                          run_seed, sopts)
+                    .record;
+            }});
+        }
+        rep = runner::runTasks(tasks, opts);
     } else if (!cache_dir.empty()) {
         service::ResultCache cache({cache_dir, 0});
         rep = service::runSweepCached(points, opts, cache);

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Little-endian byte codec for simulator state serialization.
+ *
+ * ByteWriter appends fixed-width fields to a growable byte buffer;
+ * ByteReader consumes them back, throwing CodecError on truncation or
+ * trailing garbage. All integers are written little-endian byte by
+ * byte, so the encoding is identical across platforms — the snapshot
+ * digest of a simulator state is therefore portable.
+ *
+ * Components own their wire format: each serializable class exposes
+ * `serialize(ByteWriter&) const` / `deserialize(ByteReader&)` members
+ * and this header stays ignorant of what is being encoded. The
+ * checkpoint file container (header, digest, atomic write) lives in
+ * src/core/snapshot.
+ */
+
+#ifndef SRLSIM_COMMON_BYTES_HH
+#define SRLSIM_COMMON_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace srl
+{
+namespace bytes
+{
+
+/** Raised by ByteReader on truncated or malformed input. */
+class CodecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Append-only little-endian encoder over a std::string buffer. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    raw(const void *data, std::size_t size)
+    {
+        buf_.append(static_cast<const char *>(data), size);
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/** Sequential decoder over a byte buffer; throws on truncation. */
+class ByteReader
+{
+  public:
+    ByteReader(const void *data, std::size_t size)
+        : data_(static_cast<const std::uint8_t *>(data)), size_(size)
+    {
+    }
+
+    explicit ByteReader(const std::string &buf)
+        : ByteReader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t{u8()} << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t{u16()} << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t{u32()} << 32);
+    }
+
+    bool
+    boolean()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw CodecError("byte codec: bad boolean");
+        return v != 0;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void
+    raw(void *out, std::size_t size)
+    {
+        need(size);
+        std::memcpy(out, data_ + pos_, size);
+        pos_ += size;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Require that the whole buffer was consumed. */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            throw CodecError("byte codec: trailing bytes");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw CodecError("byte codec: truncated input");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace bytes
+} // namespace srl
+
+#endif // SRLSIM_COMMON_BYTES_HH

@@ -315,5 +315,36 @@ pointKey(const core::ProcessorConfig &config,
     return hashString(bytes);
 }
 
+Hash128
+pointKey(const core::ProcessorConfig &config,
+         const workload::SuiteProfile &suite, std::uint64_t uops,
+         std::uint64_t run_seed, bool occupancy_series,
+         std::uint64_t ff_uops, std::uint64_t warm_uops,
+         std::uint64_t detail_uops, std::uint64_t shard_start,
+         std::uint64_t shard_count)
+{
+    if (ff_uops == 0 && warm_uops == 0 && detail_uops == 0)
+        return pointKey(config, suite, uops, run_seed,
+                        occupancy_series);
+    CanonicalWriter w;
+    w.str("schema", kSchemaVersion);
+    w.begin("point");
+    w.u64("uops", uops);
+    w.u64("run_seed", run_seed);
+    w.boolean("occupancy_series", occupancy_series);
+    w.end("point");
+    w.begin("sampling");
+    w.u64("ff_uops", ff_uops);
+    w.u64("warm_uops", warm_uops);
+    w.u64("detail_uops", detail_uops);
+    w.u64("shard_start", shard_start);
+    w.u64("shard_count", shard_count);
+    w.end("sampling");
+    std::string bytes = w.bytes();
+    bytes += serializeConfig(config);
+    bytes += serializeSuite(suite);
+    return hashString(bytes);
+}
+
 } // namespace chash
 } // namespace srl

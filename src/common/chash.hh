@@ -125,6 +125,19 @@ Hash128 pointKey(const core::ProcessorConfig &config,
                  std::uint64_t uops, std::uint64_t run_seed,
                  bool occupancy_series = true);
 
+/**
+ * Sampled-run variant: folds the sampling plan (per-interval
+ * ff/warm/detail uops and the shard window) into the address. When the
+ * whole plan is zero (a fully detailed run) this is exactly the plain
+ * pointKey — existing cache entries keep their addresses.
+ */
+Hash128 pointKey(const core::ProcessorConfig &config,
+                 const workload::SuiteProfile &suite,
+                 std::uint64_t uops, std::uint64_t run_seed,
+                 bool occupancy_series, std::uint64_t ff_uops,
+                 std::uint64_t warm_uops, std::uint64_t detail_uops,
+                 std::uint64_t shard_start, std::uint64_t shard_count);
+
 } // namespace chash
 } // namespace srl
 

@@ -104,6 +104,13 @@ class Random
         return n;
     }
 
+    /**
+     * Raw PCG state, for checkpointing: restoring it with
+     * setRawState() resumes the stream exactly where it left off.
+     */
+    std::uint64_t rawState() const { return state_; }
+    void setRawState(std::uint64_t s) { state_ = s; }
+
   private:
     std::uint64_t state_;
 };

@@ -73,6 +73,13 @@ Occupancy::reset()
     peak_ = 0;
 }
 
+void
+Occupancy::merge(const Occupancy &other)
+{
+    for (const auto &[entries, cycles] : other.cycles_at_)
+        observe(entries, cycles);
+}
+
 double
 Occupancy::percentAbove(std::uint64_t threshold) const
 {

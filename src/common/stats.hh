@@ -135,6 +135,21 @@ class Occupancy
     /** Percent of *total* time the structure was non-empty (Table 3). */
     double percentOccupied() const;
 
+    /**
+     * Per-occupancy cycle counts, exposed so sampled runs can
+     * serialize the tracker and merge per-interval observations:
+     * replaying observe(entries, cycles) over this map reconstructs
+     * the tracker exactly.
+     */
+    const std::map<std::uint64_t, std::uint64_t> &
+    cyclesAt() const
+    {
+        return cycles_at_;
+    }
+
+    /** Fold another tracker's observations into this one. */
+    void merge(const Occupancy &other);
+
   private:
     std::map<std::uint64_t, std::uint64_t> cycles_at_;
     std::uint64_t occupied_cycles_ = 0;

@@ -1,0 +1,52 @@
+#include "core/fast_forward.hh"
+
+namespace srl
+{
+namespace core
+{
+
+void
+FastForwardEngine::retireOldestStore()
+{
+    sim_.store_sets.storeRetired(ring_[ring_head_]);
+    ring_head_ = (ring_head_ + 1) % kRingSize;
+    --ring_count_;
+}
+
+std::uint64_t
+FastForwardEngine::run(isa::UopStream &stream, std::uint64_t n,
+                       bool warm)
+{
+    std::uint64_t consumed = 0;
+    isa::Uop u;
+    while (consumed < n && stream.next(u)) {
+        ++consumed;
+        if (u.isStore()) {
+            sim_.mem.write(u.effAddr, u.memSize, u.storeData);
+            if (warm) {
+                sim_.hier.warmStore(u.effAddr);
+                sim_.store_sets.storeFetched(u.pc, u.seq);
+                if (ring_count_ == kRingSize)
+                    retireOldestStore();
+                ring_[(ring_head_ + ring_count_) % kRingSize] = u.seq;
+                ++ring_count_;
+            }
+        } else if (u.isLoad()) {
+            if (warm) {
+                sim_.hier.warmLoad(u.effAddr);
+                (void)sim_.store_sets.predict(u.pc);
+            }
+        } else if (u.isBranch() && warm) {
+            // predict-then-update mirrors the detailed fetch stage and
+            // keeps the hybrid's last-prediction latches coherent.
+            (void)sim_.bpred.predict(u.pc);
+            sim_.bpred.update(u.pc, u.taken);
+        }
+    }
+    while (ring_count_ > 0)
+        retireOldestStore();
+    return consumed;
+}
+
+} // namespace core
+} // namespace srl

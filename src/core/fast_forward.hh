@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional fast-forward engine for sampled simulation.
+ *
+ * Retires uops in-order at functional speed — no window, scheduler,
+ * store queue, or event heap ever ticks — keeping only the
+ * architectural memory image exact: every store writes MainMemory with
+ * the same (addr, size, data) the detailed machine would commit, which
+ * is the "instantaneous instruction execution" semantics the
+ * ReferenceExecutor already embodies. In warming mode it additionally
+ * streams the access pattern through the cache hierarchy, the branch
+ * predictor, and the store-sets tables so a detailed interval that
+ * follows starts from realistically warm microarchitectural state
+ * instead of a cold machine.
+ *
+ * External snoop traffic is cycle-driven and therefore does not occur
+ * while fast-forwarding; the snoop RNG cursor in SimState simply stays
+ * put until the next detailed segment. This is part of the sampled-run
+ * semantics (see DESIGN.md §14), not an approximation of the detailed
+ * run: both a straight sampled run and a checkpoint-restored one skip
+ * the same spans identically.
+ */
+
+#ifndef SRLSIM_CORE_FAST_FORWARD_HH
+#define SRLSIM_CORE_FAST_FORWARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/sim_state.hh"
+#include "isa/uop.hh"
+
+namespace srl
+{
+namespace core
+{
+
+class FastForwardEngine
+{
+  public:
+    explicit FastForwardEngine(SimState &state) : sim_(state) {}
+
+    /**
+     * Consume up to @p n uops from @p stream, in order. With @p warm
+     * set, also warm caches and predictors. @return the number of
+     * uops actually consumed (short only if the stream ended). Any
+     * stores still aging in the warm-mode retire ring are retired
+     * (store-sets LFST cleared) when the span ends — by then they
+     * have long left any realistic window.
+     */
+    std::uint64_t run(isa::UopStream &stream, std::uint64_t n,
+                      bool warm);
+
+  private:
+    void retireOldestStore();
+
+    SimState &sim_;
+
+    /**
+     * Warm-mode store retire ring: a fetched store remains the
+     * "youngest store in flight" for store-sets purposes until
+     * kRingSize younger stores arrive, approximating the passage of a
+     * (generously sized) instruction window without simulating one.
+     */
+    static constexpr std::size_t kRingSize = 512;
+    std::array<SeqNum, kRingSize> ring_{};
+    std::size_t ring_head_ = 0;
+    std::size_t ring_count_ = 0;
+};
+
+} // namespace core
+} // namespace srl
+
+#endif // SRLSIM_CORE_FAST_FORWARD_HH

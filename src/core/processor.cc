@@ -6,6 +6,7 @@
 #include "common/debug.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "core/sim_state.hh"
 
 namespace srl
 {
@@ -21,18 +22,52 @@ constexpr std::size_t kFetchAhead = 32;
 } // namespace
 
 Processor::Processor(const ProcessorConfig &config, isa::UopStream &stream)
-    : config_(config), stream_(stream), store_sets_(config.store_sets),
-      ckpts_(config.checkpoints), sdb_(config.sdb),
+    : config_(config), stream_(stream), ckpts_(config.checkpoints),
+      sdb_(config.sdb),
       store_ids_(config.model == StqModel::kSrl
                      ? config.srl.srl.capacity
                      : 1u << 20)
 {
     snoop_rng_ = Random(config.snoop_seed);
-    mem_ = std::make_unique<memsys::MainMemory>();
-    hier_ = std::make_unique<memsys::Hierarchy>(config_.memory, *mem_);
-    spec_mem_ = std::make_unique<SpeculativeMemory>(*mem_);
-    bpred_ = std::make_unique<predictor::HybridPredictor>();
+    owned_mem_ = std::make_unique<memsys::MainMemory>();
+    mem_ = owned_mem_.get();
+    owned_hier_ =
+        std::make_unique<memsys::Hierarchy>(config_.memory, *mem_);
+    hier_ = owned_hier_.get();
+    owned_bpred_ = std::make_unique<predictor::HybridPredictor>();
+    bpred_ = owned_bpred_.get();
+    owned_store_sets_ =
+        std::make_unique<predictor::StoreSets>(config.store_sets);
+    store_sets_ = owned_store_sets_.get();
+    initPipeline();
+}
 
+Processor::Processor(const ProcessorConfig &config, isa::UopStream &stream,
+                     SimState &state, SeqNum start_seq)
+    : config_(config), stream_(stream), ckpts_(config.checkpoints),
+      sdb_(config.sdb),
+      store_ids_(config.model == StqModel::kSrl
+                     ? config.srl.srl.capacity
+                     : 1u << 20)
+{
+    mem_ = &state.mem;
+    hier_ = &state.hier;
+    bpred_ = &state.bpred;
+    store_sets_ = &state.store_sets;
+    // MSHRs are cycle-keyed against the previous segment's clock (all
+    // logically expired at a drained boundary) and a previous
+    // segment's probe bus must not leak in.
+    hier_->resetTiming();
+    snoop_rng_.setRawState(state.snoop_rng_state);
+    snoop_payload_ = state.snoop_payload;
+    window_base_ = start_seq;
+    initPipeline();
+}
+
+void
+Processor::initPipeline()
+{
+    spec_mem_ = std::make_unique<SpeculativeMemory>(*mem_);
     stq_ = std::make_unique<lsq::StoreQueue>(config_.stq);
 
     switch (config_.model) {
@@ -69,6 +104,13 @@ Processor::Processor(const ProcessorConfig &config, isa::UopStream &stream)
 }
 
 Processor::~Processor() = default;
+
+void
+Processor::exportState(SimState &state) const
+{
+    state.snoop_rng_state = snoop_rng_.rawState();
+    state.snoop_payload = snoop_payload_;
+}
 
 // --------------------------------------------------------------------
 // Window access
@@ -309,7 +351,7 @@ Processor::resolveSources(DynUop &d)
     d.src2_prod = resolve(d.uop.src2);
 
     if (d.uop.isLoad()) {
-        const SeqNum pred = store_sets_.predict(d.uop.pc);
+        const SeqNum pred = store_sets_->predict(d.uop.pc);
         if (pred != kInvalidSeqNum && inWindow(pred) && pred < d.uop.seq) {
             const DynUop *s = find(pred);
             if (s && s->uop.isStore() && !s->completed())
@@ -551,7 +593,7 @@ Processor::allocateOne(DynUop &d, bool reinsertion)
         stq_->allocate(d.uop.seq, d.store_id, d.ckpt);
         d.in_stq = true;
         d.drained = false;
-        store_sets_.storeFetched(d.uop.pc, d.uop.seq);
+        store_sets_->storeFetched(d.uop.pc, d.uop.seq);
         ++undrained_[d.ckpt];
         ++inflight_stores_;
         d.undrained_counted = true;
@@ -1725,7 +1767,7 @@ Processor::commit()
             }
             if (d.uop.isStore()) {
                 ++stats_.committed_stores;
-                store_sets_.storeRetired(d.uop.seq);
+                store_sets_->storeRetired(d.uop.seq);
             }
             window_.pop_front();
             ++window_base_;
@@ -1763,7 +1805,7 @@ Processor::handleViolation(const lsq::LoadViolation &v, SeqNum store_seq,
         const DynUop *st =
             store_seq != kInvalidSeqNum ? find(store_seq) : nullptr;
         if (ld && st)
-            store_sets_.trainViolation(ld->uop.pc, st->uop.pc);
+            store_sets_->trainViolation(ld->uop.pc, st->uop.pc);
     }
     rollbackToCheckpoint(v.ckpt);
 }
@@ -1892,7 +1934,7 @@ Processor::rollbackToCheckpoint(CheckpointId target)
                          "inflight store count underflow");
                 --inflight_stores_;
             }
-            store_sets_.storeRetired(d.uop.seq);
+            store_sets_->storeRetired(d.uop.seq);
         }
         ++d.generation;
         d.state = UopState::kWaitAlloc;
@@ -2126,9 +2168,9 @@ Processor::captureIdleCounters() const
     c.lcf_overflows = lcf_ ? lcf_->overflows.value() : 0;
     c.srl_indexed_reads = srl_ ? srl_->indexedReads.value() : 0;
     c.fence_drain_blocked = fence_.drainBlocked.value();
-    c.ss_accesses = store_sets_.accesses();
-    c.ss_predictions = store_sets_.predictions.value();
-    c.ss_deps = store_sets_.dependencesPredicted.value();
+    c.ss_accesses = store_sets_->accesses();
+    c.ss_predictions = store_sets_->predictions.value();
+    c.ss_deps = store_sets_->dependencesPredicted.value();
     return c;
 }
 
@@ -2165,7 +2207,7 @@ Processor::skipQuiescentCycles(const IdleCounters &before,
     if (da > 0) {
         // Stay strictly below the next whole-table clear; the tick
         // that crosses it must execute for real.
-        const std::uint64_t dist = store_sets_.accessesUntilClear();
+        const std::uint64_t dist = store_sets_->accessesUntilClear();
         span = std::min(span, (dist - 1) / da);
         if (span == 0)
             return;
@@ -2198,7 +2240,7 @@ Processor::skipQuiescentCycles(const IdleCounters &before,
             delta(after.srl_indexed_reads, before.srl_indexed_reads);
     fence_.drainBlocked +=
         delta(after.fence_drain_blocked, before.fence_drain_blocked);
-    store_sets_.addIdleAccesses(
+    store_sets_->addIdleAccesses(
         da * span, delta(after.ss_predictions, before.ss_predictions),
         delta(after.ss_deps, before.ss_deps));
     if (srl_)

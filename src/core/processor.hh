@@ -61,6 +61,8 @@ namespace srl
 namespace core
 {
 
+struct SimState;
+
 /** Pseudo-checkpoint id marking temporary in-D$ updates (Fig. 10 mode). */
 inline constexpr CheckpointId kTempCkpt = 254;
 
@@ -212,7 +214,26 @@ class Processor
         std::function<void(SeqNum, Addr, unsigned, std::uint64_t)>;
 
     Processor(const ProcessorConfig &config, isa::UopStream &stream);
+
+    /**
+     * Adopting constructor for sampled runs: run a detailed segment
+     * against persistent simulator state (memory image, caches,
+     * predictors, snoop RNG) owned by @p state instead of fresh
+     * instances. The segment starts with an empty pipeline at cycle 0;
+     * @p start_seq is the sequence number of the first uop the stream
+     * will deliver (uops consumed by fast-forwarding keep global
+     * numbering). Cycle-keyed hierarchy state (MSHRs) is reset — at a
+     * drained segment boundary every outstanding fill has logically
+     * completed. Call exportState() after run() to write the snoop RNG
+     * cursor back so the next segment continues the stream.
+     */
+    Processor(const ProcessorConfig &config, isa::UopStream &stream,
+              SimState &state, SeqNum start_seq);
+
     ~Processor();
+
+    /** Write per-segment persistent state (snoop RNG) back to @p state. */
+    void exportState(SimState &state) const;
 
     /**
      * Run until the stream is exhausted and the window drains, or
@@ -291,6 +312,9 @@ class Processor
     void attachSampler(obs::CounterSampler *sampler);
 
   private:
+    /** Construct the per-segment pipeline structures (both ctors). */
+    void initPipeline();
+
     // ----- pipeline phases -----
     void processEvents();
     void commit();
@@ -420,14 +444,21 @@ class Processor
     isa::UopStream &stream_;
     bool stream_done_ = false;
 
-    // Memory system.
-    std::unique_ptr<memsys::MainMemory> mem_;
-    std::unique_ptr<memsys::Hierarchy> hier_;
+    // Memory system and predictors. Raw pointers name the live
+    // instances; the owned_* slots are populated only by the
+    // standalone constructor. The adopting constructor points them at
+    // a SimState's members instead, so architectural and
+    // predictor state persists across sampled-run segments while the
+    // pipeline structures below stay per-segment.
+    memsys::MainMemory *mem_ = nullptr;
+    memsys::Hierarchy *hier_ = nullptr;
     std::unique_ptr<SpeculativeMemory> spec_mem_;
-
-    // Predictors.
-    std::unique_ptr<predictor::BranchPredictor> bpred_;
-    predictor::StoreSets store_sets_;
+    predictor::BranchPredictor *bpred_ = nullptr;
+    predictor::StoreSets *store_sets_ = nullptr;
+    std::unique_ptr<memsys::MainMemory> owned_mem_;
+    std::unique_ptr<memsys::Hierarchy> owned_hier_;
+    std::unique_ptr<predictor::BranchPredictor> owned_bpred_;
+    std::unique_ptr<predictor::StoreSets> owned_store_sets_;
 
     // CPR / CFP.
     cfp::CheckpointManager ckpts_;

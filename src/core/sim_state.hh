@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The simulator state that persists across sampled-run segments: the
+ * architectural memory image, the cache hierarchy (tags/LRU/dirty and
+ * prefetcher), the branch and memory-dependence predictors, and the
+ * external-snoop RNG cursor.
+ *
+ * A sampled run (runner/sampled.hh) interleaves fast-forward spans
+ * (FastForwardEngine mutates this state directly) with detailed
+ * intervals (a fresh Processor adopts this state for the segment and
+ * exports the snoop cursor back). Everything here — and only what is
+ * here plus the workload GeneratorState — crosses segment boundaries;
+ * pipeline structures (window, STQ/SRL, scheduler, events) are
+ * per-segment and provably empty at every boundary because a segment
+ * only ends once the machine drains. Checkpoint files (core/snapshot)
+ * serialize exactly this struct plus the generator cursor.
+ */
+
+#ifndef SRLSIM_CORE_SIM_STATE_HH
+#define SRLSIM_CORE_SIM_STATE_HH
+
+#include <cstdint>
+
+#include "common/bytes.hh"
+#include "common/random.hh"
+#include "core/config.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/main_memory.hh"
+#include "predictor/branch.hh"
+#include "predictor/store_sets.hh"
+
+namespace srl
+{
+namespace core
+{
+
+struct SimState
+{
+    explicit SimState(const ProcessorConfig &cfg)
+        : hier(cfg.memory, mem), store_sets(cfg.store_sets),
+          snoop_rng_state(Random(cfg.snoop_seed).rawState())
+    {
+    }
+
+    SimState(const SimState &) = delete;
+    SimState &operator=(const SimState &) = delete;
+
+    memsys::MainMemory mem;
+    memsys::Hierarchy hier;
+    predictor::HybridPredictor bpred;
+    predictor::StoreSets store_sets;
+
+    /** Raw PCG cursor of the external snoop source (config.snoop_seed
+     * stream), carried across detailed segments so snoop traffic
+     * continues instead of restarting. */
+    std::uint64_t snoop_rng_state = 0;
+
+    /** Monotonic payload counter of injected snoops. */
+    std::uint64_t snoop_payload = 0;
+
+    void
+    serialize(bytes::ByteWriter &w) const
+    {
+        mem.serialize(w);
+        hier.serialize(w);
+        bpred.serialize(w);
+        store_sets.serialize(w);
+        w.u64(snoop_rng_state);
+        w.u64(snoop_payload);
+    }
+
+    void
+    deserialize(bytes::ByteReader &r)
+    {
+        mem.deserialize(r);
+        hier.deserialize(r);
+        bpred.deserialize(r);
+        store_sets.deserialize(r);
+        snoop_rng_state = r.u64();
+        snoop_payload = r.u64();
+    }
+};
+
+} // namespace core
+} // namespace srl
+
+#endif // SRLSIM_CORE_SIM_STATE_HH

@@ -253,6 +253,52 @@ Cache::squashCheckpoint(CheckpointId ckpt)
     return discarded;
 }
 
+void
+Cache::serialize(bytes::ByteWriter &w) const
+{
+    panic_if(spec_lines_ != 0,
+             "%s: serializing with %u speculative lines outstanding",
+             params_.name.c_str(), spec_lines_);
+    w.u64(lines_.size());
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.boolean(line.valid);
+        w.boolean(line.dirty);
+        w.u64(line.lru);
+    }
+    w.u64(use_stamp_);
+    w.u64(hits.value());
+    w.u64(misses.value());
+    w.u64(writebacks.value());
+}
+
+void
+Cache::deserialize(bytes::ByteReader &r)
+{
+    if (r.u64() != lines_.size())
+        throw bytes::CodecError(params_.name +
+                                ": cache geometry mismatch");
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        Line &line = lines_[i];
+        line.tag = r.u64();
+        line.valid = r.boolean();
+        line.dirty = r.boolean();
+        line.speculative = false;
+        line.spec_ckpt = kInvalidCheckpoint;
+        line.lru = r.u64();
+        tags_[i] = line.valid ? line.tag : kNoTag;
+    }
+    use_stamp_ = r.u64();
+    spec_idx_.clear();
+    spec_lines_ = 0;
+    hits.reset();
+    hits += r.u64();
+    misses.reset();
+    misses += r.u64();
+    writebacks.reset();
+    writebacks += r.u64();
+}
+
 unsigned
 Cache::squashAllSpeculative()
 {

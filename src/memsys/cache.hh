@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -110,6 +111,20 @@ class Cache
 
     unsigned numSets() const { return num_sets_; }
     unsigned hitLatency() const { return params_.hit_latency; }
+
+    /**
+     * Serialize tags/valid/dirty/LRU state and the access counters.
+     * Speculative per-checkpoint state is transient (it exists only
+     * while a checkpoint is in flight); serializing with speculative
+     * lines outstanding is a caller bug and panics.
+     */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /**
+     * Restore a serialized image into a cache of identical geometry.
+     * @throws bytes::CodecError on mismatch or truncation
+     */
+    void deserialize(bytes::ByteReader &r);
 
     // Stats, exposed for experiment harnesses.
     stats::Scalar hits;

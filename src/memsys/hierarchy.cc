@@ -117,6 +117,85 @@ Hierarchy::storeDrain(Addr addr, Cycle now)
     return l1_.hitLatency();
 }
 
+void
+Hierarchy::warmLoad(Addr addr)
+{
+    ++loads;
+    const Addr line = l1_.lineAddr(addr);
+    if (l1_.touch(line)) {
+        ++l1Hits;
+        return;
+    }
+    if (params_.enable_prefetch) {
+        prefetcher_.observeMiss(addr, [this](Addr pf_line) {
+            l2_.fill(pf_line);
+        });
+    }
+    if (l2_.touch(line)) {
+        ++l2Hits;
+        l1_.fill(line);
+        return;
+    }
+    ++memMisses;
+    l2_.fill(line);
+    l1_.fill(line);
+}
+
+void
+Hierarchy::warmStore(Addr addr)
+{
+    ++storeDrains;
+    const Addr line = l1_.lineAddr(addr);
+    const auto result = l1_.access(line, true);
+    if (result.writeback)
+        l2_.access(result.victim_line, true);
+    if (!result.hit)
+        l2_.fill(line);
+}
+
+void
+Hierarchy::resetTiming()
+{
+    mshrs_.clear();
+    probe_ = nullptr;
+    clock_ = nullptr;
+}
+
+void
+Hierarchy::serialize(bytes::ByteWriter &w) const
+{
+    l1_.serialize(w);
+    l2_.serialize(w);
+    prefetcher_.serialize(w);
+    w.u64(loads.value());
+    w.u64(l1Hits.value());
+    w.u64(l2Hits.value());
+    w.u64(memMisses.value());
+    w.u64(mshrMerges.value());
+    w.u64(mshrFullEvents.value());
+    w.u64(storeDrains.value());
+}
+
+void
+Hierarchy::deserialize(bytes::ByteReader &r)
+{
+    l1_.deserialize(r);
+    l2_.deserialize(r);
+    prefetcher_.deserialize(r);
+    const auto restore = [&r](stats::Scalar &s) {
+        s.reset();
+        s += r.u64();
+    };
+    restore(loads);
+    restore(l1Hits);
+    restore(l2Hits);
+    restore(memMisses);
+    restore(mshrMerges);
+    restore(mshrFullEvents);
+    restore(storeDrains);
+    mshrs_.clear();
+}
+
 bool
 Hierarchy::writebackLine(Addr addr)
 {

@@ -82,6 +82,34 @@ class Hierarchy
     /** Invalidate @p addr in both cache levels (external snoop). */
     void snoopInvalidate(Addr addr);
 
+    /**
+     * Functional cache warming for the fast-forward engine: models
+     * the tag/LRU/prefetcher effects of a load without MSHR tracking,
+     * probes, or latency (there is no clock while fast-forwarding).
+     * Mirrors load()'s hit/fill path exactly, including the hit/miss
+     * counters — warmed counters are documented as including warming
+     * accesses.
+     */
+    void warmLoad(Addr addr);
+
+    /** Functional warming for a draining store: storeDrain sans clock. */
+    void warmStore(Addr addr);
+
+    /**
+     * Drop cycle-keyed transient state (MSHRs) and any attached probe
+     * at a segment boundary: the next detailed segment starts its
+     * clock at zero, so cycle-stamped entries from the previous
+     * segment must not leak across. Tags are installed at request
+     * time, so clearing completed fills loses nothing architectural.
+     */
+    void resetTiming();
+
+    /** Serialize caches, prefetcher, and counters (MSHRs excluded). */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore a serialized hierarchy of identical geometry. */
+    void deserialize(bytes::ByteReader &r);
+
     Cache &l1() { return l1_; }
     Cache &l2() { return l2_; }
     MainMemory &mem() { return mem_; }

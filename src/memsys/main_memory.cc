@@ -1,6 +1,8 @@
 #include "memsys/main_memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -90,6 +92,36 @@ MainMemory::write(Addr addr, unsigned size, std::uint64_t value)
         Page &page = touchPage(a);
         page[a & (kPageBytes - 1)] =
             static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+MainMemory::serialize(bytes::ByteWriter &w) const
+{
+    std::vector<Addr> idxs;
+    idxs.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        idxs.push_back(kv.first);
+    std::sort(idxs.begin(), idxs.end());
+    w.u64(idxs.size());
+    for (const Addr idx : idxs) {
+        w.u64(idx);
+        w.raw(pages_.at(idx)->data(), kPageBytes);
+    }
+}
+
+void
+MainMemory::deserialize(bytes::ByteReader &r)
+{
+    clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr idx = r.u64();
+        if (pages_.count(idx))
+            throw bytes::CodecError("memory image: duplicate page");
+        auto page = std::make_unique<Page>();
+        r.raw(page->data(), kPageBytes);
+        pages_.emplace(idx, std::move(page));
     }
 }
 

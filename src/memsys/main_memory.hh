@@ -21,6 +21,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/bytes.hh"
 #include "common/types.hh"
 
 namespace srl
@@ -60,6 +61,15 @@ class MainMemory
         cache_idx_.fill(~static_cast<Addr>(0));
         cache_page_.fill(nullptr);
     }
+
+    /**
+     * Serialize the full image, pages in ascending index order so the
+     * encoding is independent of hash-map iteration order.
+     */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Replace the image with a serialized one. @throws bytes::CodecError */
+    void deserialize(bytes::ByteReader &r);
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;

@@ -35,5 +35,40 @@ StreamPrefetcher::allocateStream(Addr line)
     ++streamsAllocated;
 }
 
+void
+StreamPrefetcher::serialize(bytes::ByteWriter &w) const
+{
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.boolean(s.valid);
+        w.u64(s.next_line);
+        w.u32(s.confidence);
+        w.u64(s.prefetch_edge);
+        w.u64(s.lru);
+    }
+    w.u64(stamp_);
+    w.u64(issued.value());
+    w.u64(streamsAllocated.value());
+}
+
+void
+StreamPrefetcher::deserialize(bytes::ByteReader &r)
+{
+    if (r.u64() != streams_.size())
+        throw bytes::CodecError("prefetcher stream count mismatch");
+    for (Stream &s : streams_) {
+        s.valid = r.boolean();
+        s.next_line = r.u64();
+        s.confidence = r.u32();
+        s.prefetch_edge = r.u64();
+        s.lru = r.u64();
+    }
+    stamp_ = r.u64();
+    issued.reset();
+    issued += r.u64();
+    streamsAllocated.reset();
+    streamsAllocated += r.u64();
+}
+
 } // namespace memsys
 } // namespace srl

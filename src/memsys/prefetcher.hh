@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -83,6 +84,12 @@ class StreamPrefetcher
 
         allocateStream(line);
     }
+
+    /** Serialize stream table + counters for checkpointing. */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore into a prefetcher with the same stream count. */
+    void deserialize(bytes::ByteReader &r);
 
     stats::Scalar issued;
     stats::Scalar streamsAllocated;

@@ -151,5 +151,88 @@ HybridPredictor::update(Addr pc, bool taken)
     perceptron_.update(pc, taken);
 }
 
+namespace
+{
+
+void
+restoreScalar(stats::Scalar &s, std::uint64_t v)
+{
+    s.reset();
+    s += v;
+}
+
+} // namespace
+
+void
+GsharePredictor::serialize(bytes::ByteWriter &w) const
+{
+    w.u64(table_.size());
+    w.raw(table_.data(), table_.size());
+    w.u64(history_);
+    w.u64(lookups.value());
+    w.u64(mispredicts.value());
+}
+
+void
+GsharePredictor::deserialize(bytes::ByteReader &r)
+{
+    if (r.u64() != table_.size())
+        throw bytes::CodecError("gshare table size mismatch");
+    r.raw(table_.data(), table_.size());
+    history_ = r.u64();
+    restoreScalar(lookups, r.u64());
+    restoreScalar(mispredicts, r.u64());
+}
+
+void
+PerceptronPredictor::serialize(bytes::ByteWriter &w) const
+{
+    w.u64(weights_.size());
+    for (const std::int16_t v : weights_)
+        w.u16(static_cast<std::uint16_t>(v));
+    w.u64(history_);
+    w.u64(lookups.value());
+    w.u64(mispredicts.value());
+}
+
+void
+PerceptronPredictor::deserialize(bytes::ByteReader &r)
+{
+    if (r.u64() != weights_.size())
+        throw bytes::CodecError("perceptron weight count mismatch");
+    for (std::int16_t &v : weights_)
+        v = static_cast<std::int16_t>(r.u16());
+    history_ = r.u64();
+    restoreScalar(lookups, r.u64());
+    restoreScalar(mispredicts, r.u64());
+}
+
+void
+HybridPredictor::serialize(bytes::ByteWriter &w) const
+{
+    gshare_.serialize(w);
+    perceptron_.serialize(w);
+    w.u64(chooser_.size());
+    w.raw(chooser_.data(), chooser_.size());
+    w.boolean(last_gshare_);
+    w.boolean(last_perceptron_);
+    w.u64(lookups.value());
+    w.u64(mispredicts.value());
+}
+
+void
+HybridPredictor::deserialize(bytes::ByteReader &r)
+{
+    gshare_.deserialize(r);
+    perceptron_.deserialize(r);
+    if (r.u64() != chooser_.size())
+        throw bytes::CodecError("chooser table size mismatch");
+    r.raw(chooser_.data(), chooser_.size());
+    last_gshare_ = r.boolean();
+    last_perceptron_ = r.boolean();
+    restoreScalar(lookups, r.u64());
+    restoreScalar(mispredicts, r.u64());
+}
+
 } // namespace predictor
 } // namespace srl

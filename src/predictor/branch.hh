@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -49,6 +50,12 @@ class GsharePredictor : public BranchPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
 
+    /** Serialize table + history + counters for checkpointing. */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore into a predictor of identical geometry. */
+    void deserialize(bytes::ByteReader &r);
+
   private:
     unsigned index(Addr pc) const;
 
@@ -66,6 +73,12 @@ class PerceptronPredictor : public BranchPredictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+
+    /** Serialize weights + history + counters for checkpointing. */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore into a predictor of identical geometry. */
+    void deserialize(bytes::ByteReader &r);
 
   private:
     int output(Addr pc) const;
@@ -90,6 +103,12 @@ class HybridPredictor : public BranchPredictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+
+    /** Serialize both components, chooser, and counters. */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore into a predictor of identical geometry. */
+    void deserialize(bytes::ByteReader &r);
 
   private:
     GsharePredictor gshare_;

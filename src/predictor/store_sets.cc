@@ -114,5 +114,47 @@ StoreSets::trainViolation(Addr load_pc, Addr store_pc)
     }
 }
 
+void
+StoreSets::serialize(bytes::ByteWriter &w) const
+{
+    w.u64(ssit_.size());
+    for (const std::uint16_t v : ssit_)
+        w.u16(v);
+    w.u64(lfst_.size());
+    for (const SeqNum v : lfst_)
+        w.u64(v);
+    w.u16(next_ssid_);
+    w.u64(accesses_);
+    w.u64(predictions.value());
+    w.u64(dependencesPredicted.value());
+    w.u64(violationsTrained.value());
+}
+
+void
+StoreSets::deserialize(bytes::ByteReader &r)
+{
+    if (r.u64() != ssit_.size())
+        throw bytes::CodecError("SSIT size mismatch");
+    for (std::uint16_t &v : ssit_)
+        v = r.u16();
+    if (r.u64() != lfst_.size())
+        throw bytes::CodecError("LFST size mismatch");
+    lfst_rev_.clear();
+    for (std::size_t i = 0; i < lfst_.size(); ++i) {
+        lfst_[i] = r.u64();
+        if (lfst_[i] != kInvalidSeqNum)
+            lfst_rev_.emplace(lfst_[i], static_cast<unsigned>(i));
+    }
+    next_ssid_ = r.u16();
+    accesses_ = r.u64();
+    const auto restore = [&r](stats::Scalar &s) {
+        s.reset();
+        s += r.u64();
+    };
+    restore(predictions);
+    restore(dependencesPredicted);
+    restore(violationsTrained);
+}
+
 } // namespace predictor
 } // namespace srl

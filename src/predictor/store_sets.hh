@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -103,6 +104,12 @@ class StoreSets
         predictions += preds;
         dependencesPredicted += deps;
     }
+
+    /** Serialize SSIT/LFST + counters (the reverse index is derived). */
+    void serialize(bytes::ByteWriter &w) const;
+
+    /** Restore into a predictor of identical geometry. */
+    void deserialize(bytes::ByteReader &r);
 
     stats::Scalar predictions;
     stats::Scalar dependencesPredicted;

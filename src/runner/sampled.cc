@@ -1,0 +1,291 @@
+#include "runner/sampled.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/random.hh"
+#include "core/fast_forward.hh"
+#include "core/sim_state.hh"
+#include "core/simulator.hh"
+#include "core/snapshot.hh"
+#include "workload/generator.hh"
+#include "workload/prewarm.hh"
+
+namespace srl
+{
+namespace runner
+{
+
+namespace
+{
+
+/** Pass through at most @p limit uops of the wrapped stream. */
+class LimitStream : public isa::UopStream
+{
+  public:
+    LimitStream(isa::UopStream &inner, std::uint64_t limit)
+        : inner_(inner), limit_(limit)
+    {
+    }
+
+    bool
+    next(isa::Uop &out) override
+    {
+        if (taken_ >= limit_ || !inner_.next(out))
+            return false;
+        ++taken_;
+        return true;
+    }
+
+    std::uint64_t taken() const { return taken_; }
+
+  private:
+    isa::UopStream &inner_;
+    std::uint64_t limit_;
+    std::uint64_t taken_ = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SampledResult
+runSampled(const core::ProcessorConfig &config,
+           const workload::SuiteProfile &suite,
+           std::uint64_t total_uops, std::uint64_t seed_override,
+           const SampledOptions &opts)
+{
+    const SampledPlan &plan = opts.plan;
+    if (plan.detail_uops == 0)
+        throw std::invalid_argument(
+            "runSampled: plan.detail_uops must be > 0");
+
+    const std::uint64_t interval_len = plan.intervalUops();
+    const std::uint64_t num_intervals =
+        (total_uops + interval_len - 1) / interval_len;
+    if (opts.shard_start >= num_intervals)
+        throw std::invalid_argument(
+            "runSampled: shard_start beyond the last interval (" +
+            std::to_string(num_intervals) + " intervals)");
+    const std::uint64_t end_interval =
+        opts.shard_count > num_intervals - opts.shard_start
+            ? num_intervals
+            : opts.shard_start + opts.shard_count;
+    if (opts.shard_start > 0 && opts.ckpt_dir.empty())
+        throw std::invalid_argument(
+            "runSampled: sharded run needs a checkpoint directory");
+
+    // Same seed plumbing as runOne: the effective config re-keys the
+    // snoop stream, while the checkpoint context hashes the caller's
+    // config (the seed travels separately in the context).
+    core::ProcessorConfig cfg = config;
+    if (seed_override)
+        cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
+    const core::SnapshotContext ctx = core::makeSnapshotContext(
+        config, suite, total_uops, seed_override, plan.ff_uops,
+        plan.warm_uops, plan.detail_uops);
+
+    // The generator is used directly (not through the stream cache):
+    // sampled runs need its capture/restore cursor.
+    workload::Generator gen(suite, total_uops, seed_override);
+    core::SimState sim(cfg);
+    core::FastForwardEngine ff(sim);
+    core::SnapshotMeta meta;
+
+    SampledResult result;
+
+    if (opts.shard_start == 0) {
+        // Warmed-cache methodology at uop zero, exactly as runOne.
+        workload::prewarmCaches(suite, sim.hier);
+    } else {
+        const std::string path =
+            opts.ckpt_dir + "/" +
+            core::snapshotFileName(ctx, opts.shard_start);
+        const core::LoadedSnapshot loaded =
+            core::loadSnapshot(path, ctx, sim);
+        if (loaded.meta.next_interval != opts.shard_start)
+            throw core::SnapshotError(
+                "snapshot: " + path + " resumes interval " +
+                std::to_string(loaded.meta.next_interval) +
+                ", expected " + std::to_string(opts.shard_start));
+        meta = loaded.meta;
+        gen.restoreState(loaded.gen);
+    }
+
+    // Fast-forward (and warm) up to the detail entry of interval @p k,
+    // then checkpoint that entry point when a directory is configured.
+    const auto advanceToDetail = [&](std::uint64_t k) {
+        const std::uint64_t base = k * interval_len;
+        const std::uint64_t ff_span =
+            std::min(plan.ff_uops, total_uops - base);
+        const std::uint64_t warm_span =
+            std::min(plan.warm_uops, total_uops - base - ff_span);
+        const auto t0 = std::chrono::steady_clock::now();
+        meta.ff_done += ff.run(gen, ff_span, /*warm=*/false);
+        meta.warm_done += ff.run(gen, warm_span, /*warm=*/true);
+        result.ff_wall_s += secondsSince(t0);
+        meta.consumed_uops = gen.emitted();
+        meta.next_interval = k;
+        if (!opts.ckpt_dir.empty()) {
+            const std::string path = opts.ckpt_dir + "/" +
+                                     core::snapshotFileName(ctx, k);
+            core::saveSnapshot(path, ctx, meta, sim,
+                               gen.captureState());
+            result.ckpts_saved.push_back(path);
+        }
+    };
+
+    for (std::uint64_t k = opts.shard_start; k < end_interval; ++k) {
+        const bool restored_here =
+            k == opts.shard_start && opts.shard_start > 0;
+        if (!restored_here)
+            advanceToDetail(k);
+
+        const std::uint64_t detail_span =
+            std::min(plan.detail_uops, total_uops - meta.consumed_uops);
+        if (detail_span == 0)
+            break;
+
+        LimitStream seg(gen, detail_span);
+        core::Processor cpu(cfg, seg, sim,
+                            /*start_seq=*/meta.consumed_uops);
+
+        const bool traced =
+            opts.trace_interval >= 0 &&
+            static_cast<std::uint64_t>(opts.trace_interval) == k;
+        std::shared_ptr<obs::Recording> rec;
+        obs::ProbeBus bus;
+        if (traced) {
+            rec = std::make_shared<obs::Recording>(
+                opts.obs.ring_capacity, opts.obs.sample_every);
+            rec->meta["config"] = config.name;
+            rec->meta["suite"] = suite.name;
+            rec->meta["uops"] = std::to_string(total_uops);
+            rec->meta["seed"] = std::to_string(seed_override);
+            rec->meta["interval"] = std::to_string(k);
+            bus.attach(&rec->ring);
+            cpu.attachProbeBus(&bus);
+            if (opts.obs.sample_every > 0)
+                cpu.attachSampler(&rec->sampler);
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::ProcessorStats &s = cpu.run();
+        result.detail_wall_s += secondsSince(t0);
+
+        if (rec) {
+            rec->sampler.dropGauges();
+            rec->meta["cycles"] = std::to_string(s.cycles);
+            result.trace_json = obs::toChromeTrace(*rec);
+        }
+
+        cpu.exportState(sim);
+        core::accumulateStats(meta.stats, s);
+        meta.occupancy.merge(cpu.srlOccupancy());
+        meta.detail_done += seg.taken();
+        meta.consumed_uops = gen.emitted();
+        meta.next_interval = k + 1;
+        ++result.intervals_run;
+
+        stats::RunRecord irec;
+        irec.name = "interval_" + std::to_string(k);
+        irec.meta["interval"] = std::to_string(k);
+        irec.set("uops", static_cast<double>(s.committed_uops));
+        irec.set("cycles", static_cast<double>(s.cycles));
+        irec.set("ipc", s.ipc());
+        result.interval_records.push_back(std::move(irec));
+    }
+
+    // Shard handoff: a shard that stops before the last interval also
+    // fast-forwards into (and checkpoints) the next shard's entry
+    // point, so a chain of shards needs no overlap to cover the run.
+    if (end_interval < num_intervals && !opts.ckpt_dir.empty() &&
+        end_interval * interval_len < total_uops &&
+        meta.next_interval == end_interval)
+        advanceToDetail(end_interval);
+
+    result.stats = meta.stats;
+    result.ff_uops = meta.ff_done;
+    result.warm_uops = meta.warm_done;
+    result.detail_uops = meta.detail_done;
+    result.final_digest =
+        core::snapshotDigest(ctx, meta, sim, gen.captureState());
+
+    // Aggregate record, mirroring recordFromResult's field order so
+    // sampled and detailed reports read alike.
+    stats::RunRecord rec;
+    rec.meta["config"] = config.name;
+    rec.meta["suite"] = suite.name;
+    rec.meta["run_seed"] = std::to_string(seed_override);
+    rec.meta["plan"] = std::to_string(plan.ff_uops) + "/" +
+                       std::to_string(plan.warm_uops) + "/" +
+                       std::to_string(plan.detail_uops);
+
+    const core::ProcessorStats &s = meta.stats;
+    rec.set("uops", static_cast<double>(s.committed_uops));
+    rec.set("cycles", static_cast<double>(s.cycles));
+    rec.set("ipc", s.ipc());
+    rec.set("committed_loads", static_cast<double>(s.committed_loads));
+    rec.set("committed_stores",
+            static_cast<double>(s.committed_stores));
+    rec.set("mem_misses", static_cast<double>(s.mem_misses));
+    rec.set("branch_mispredicts",
+            static_cast<double>(s.branch_mispredicts));
+    rec.set("mem_violations", static_cast<double>(s.mem_violations));
+    rec.set("snoop_violations",
+            static_cast<double>(s.snoop_violations));
+    rec.set("overflow_violations",
+            static_cast<double>(s.overflow_violations));
+    rec.set("slice_uops", static_cast<double>(s.slice_uops));
+
+    if (config.model == core::StqModel::kSrl) {
+        const auto stores = s.committed_stores;
+        rec.set("pct_stores_redone",
+                stores ? 100.0 * static_cast<double>(s.redone_stores) /
+                             static_cast<double>(stores)
+                       : 0.0);
+        rec.set("pct_miss_dep_stores",
+                stores ? 100.0 *
+                             static_cast<double>(s.poisoned_stores) /
+                             static_cast<double>(stores)
+                       : 0.0);
+        rec.set("pct_miss_dep_uops",
+                s.committed_uops
+                    ? 100.0 * static_cast<double>(s.slice_uops) /
+                          static_cast<double>(s.committed_uops)
+                    : 0.0);
+        rec.set("srl_stalls_per_10k",
+                s.committed_uops
+                    ? 1e4 * static_cast<double>(s.srl_stalled_loads) /
+                          static_cast<double>(s.committed_uops)
+                    : 0.0);
+        rec.set("pct_time_srl_occupied",
+                meta.occupancy.percentOccupied());
+        for (const auto t : core::figure7Thresholds())
+            rec.set("srl_occupancy_above_" + std::to_string(t),
+                    meta.occupancy.percentAbove(t));
+    }
+
+    rec.set("sampled_ff_uops", static_cast<double>(meta.ff_done));
+    rec.set("sampled_warm_uops", static_cast<double>(meta.warm_done));
+    rec.set("sampled_detail_uops",
+            static_cast<double>(meta.detail_done));
+    // Cumulative across shards (a tail shard's record equals the
+    // straight run's), unlike result.intervals_run which is local.
+    rec.set("sampled_intervals",
+            static_cast<double>(meta.next_interval));
+    result.record = std::move(rec);
+    return result;
+}
+
+} // namespace runner
+} // namespace srl

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Sampled-simulation driver: interleaves functional fast-forward with
+ * cycle-accurate detailed intervals (SimPoint-style systematic
+ * sampling) so billion-uop workloads finish in minutes instead of
+ * hours.
+ *
+ * A run of `total_uops` is cut into intervals of
+ * `ff_uops + warm_uops + detail_uops`. Each interval fast-forwards
+ * the first span functionally (architectural memory only), then the
+ * warm span functionally *with* cache/predictor warming, then runs the
+ * detail span on the full out-of-order model against the persistent
+ * SimState. Detailed-segment statistics are summed into the aggregate
+ * record; the fast-forwarded spans contribute no cycles.
+ *
+ * Checkpointing: with a checkpoint directory set, the state at each
+ * detail-segment entry (post-warm) is saved as an `srlsim-ckpt-v1`
+ * file, and a sharded run (`shard_start > 0`) restores that file
+ * instead of re-fast-forwarding — restore-then-run is byte-identical
+ * to the straight-through sampled run (stats JSON and trace), which
+ * tests/test_sampled.cc and CI enforce. This lets a sweep service farm
+ * the detailed intervals of one long run out to independent workers.
+ *
+ * Semantics note (DESIGN.md §14): external snoop traffic is
+ * cycle-driven and therefore only occurs inside detailed intervals;
+ * the snoop RNG cursor persists across segments via SimState.
+ */
+
+#ifndef SRLSIM_RUNNER_SAMPLED_HH
+#define SRLSIM_RUNNER_SAMPLED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/chash.hh"
+#include "common/stats.hh"
+#include "core/config.hh"
+#include "core/processor.hh"
+#include "obs/export.hh"
+#include "workload/profile.hh"
+
+namespace srl
+{
+namespace runner
+{
+
+/** Per-interval uop budget of a sampled run. */
+struct SampledPlan
+{
+    std::uint64_t ff_uops = 0;     ///< pure functional span
+    std::uint64_t warm_uops = 0;   ///< functional span with warming
+    std::uint64_t detail_uops = 0; ///< cycle-accurate span (required)
+
+    std::uint64_t
+    intervalUops() const
+    {
+        return ff_uops + warm_uops + detail_uops;
+    }
+};
+
+struct SampledOptions
+{
+    SampledPlan plan;
+
+    /**
+     * When non-empty, save an `srlsim-ckpt-v1` checkpoint at every
+     * detail-segment entry (and load from here when sharded).
+     */
+    std::string ckpt_dir;
+
+    /**
+     * Shard selection: run detailed intervals
+     * [shard_start, shard_start + shard_count). A non-zero shard_start
+     * requires the matching checkpoint in ckpt_dir — the driver never
+     * silently falls back to re-fast-forwarding.
+     */
+    std::uint64_t shard_start = 0;
+    std::uint64_t shard_count = ~std::uint64_t{0};
+
+    /**
+     * When >= 0, capture a Chrome trace (srlsim-trace-v1) of that
+     * detailed interval, per @p obs (its `enabled` flag is ignored).
+     */
+    std::int64_t trace_interval = -1;
+    obs::ObsConfig obs;
+};
+
+/** Everything a sampled run produces. */
+struct SampledResult
+{
+    /** Aggregate record over all detailed intervals run. */
+    stats::RunRecord record;
+    /** One record per detailed interval, in interval order. */
+    std::vector<stats::RunRecord> interval_records;
+    /** srlsim-trace-v1 JSON of the traced interval ("" if none). */
+    std::string trace_json;
+    /** Paths of checkpoints written, in interval order. */
+    std::vector<std::string> ckpts_saved;
+
+    /** Accumulated detailed-segment statistics. */
+    core::ProcessorStats stats;
+    std::uint64_t ff_uops = 0;     ///< uops fast-forwarded (pure)
+    std::uint64_t warm_uops = 0;   ///< uops fast-forwarded warming
+    std::uint64_t detail_uops = 0; ///< uops simulated in detail
+    std::uint64_t intervals_run = 0;
+
+    /** Host wall-clock split (seconds). */
+    double ff_wall_s = 0.0;
+    double detail_wall_s = 0.0;
+
+    /**
+     * Digest of the final simulator state (the fast-forward
+     * determinism hash: same config/suite/seed/plan => same digest).
+     */
+    chash::Hash128 final_digest;
+};
+
+/**
+ * Run (config, suite) for @p total_uops under the sampling plan in
+ * @p opts. Seed semantics match core::runOne: non-zero
+ * @p seed_override replaces the suite's workload seed and re-keys the
+ * snoop stream. Throws core::SnapshotError on checkpoint problems and
+ * std::invalid_argument on a malformed plan/shard.
+ */
+SampledResult runSampled(const core::ProcessorConfig &config,
+                         const workload::SuiteProfile &suite,
+                         std::uint64_t total_uops,
+                         std::uint64_t seed_override,
+                         const SampledOptions &opts);
+
+} // namespace runner
+} // namespace srl
+
+#endif // SRLSIM_RUNNER_SAMPLED_HH

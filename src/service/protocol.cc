@@ -79,6 +79,23 @@ PointSpec::toJson() const
         v.set("lcf_hash", json::Value::str(lcf_hash));
     if (stq_entries)
         v.set("stq_entries", json::Value::number(stq_entries));
+    // Sampling plan fields travel only when set, so pre-sampling
+    // clients and servers interoperate unchanged.
+    if (ff_uops)
+        v.set("ff_uops",
+              json::Value::number(static_cast<double>(ff_uops)));
+    if (warm_uops)
+        v.set("warm_uops",
+              json::Value::number(static_cast<double>(warm_uops)));
+    if (detail_uops)
+        v.set("detail_uops",
+              json::Value::number(static_cast<double>(detail_uops)));
+    if (shard_start)
+        v.set("shard_start",
+              json::Value::number(static_cast<double>(shard_start)));
+    if (shard_count)
+        v.set("shard_count",
+              json::Value::number(static_cast<double>(shard_count)));
     return v;
 }
 
@@ -104,6 +121,11 @@ PointSpec::fromJson(const json::Value &v)
     p.lcf_entries = static_cast<unsigned>(v.getU64("lcf_entries", 0));
     p.lcf_hash = v.getString("lcf_hash", "");
     p.stq_entries = static_cast<unsigned>(v.getU64("stq_entries", 0));
+    p.ff_uops = v.getU64("ff_uops", 0);
+    p.warm_uops = v.getU64("warm_uops", 0);
+    p.detail_uops = v.getU64("detail_uops", 0);
+    p.shard_start = v.getU64("shard_start", 0);
+    p.shard_count = v.getU64("shard_count", 0);
     return p;
 }
 

@@ -73,6 +73,26 @@ struct PointSpec
     unsigned stq_entries = 0;  ///< monolithic STQ size override
 
     /**
+     * Sampled-run plan (all zero = fully detailed, the default). When
+     * sampled(), the service runs the point through runner::runSampled
+     * with this per-interval ff/warm/detail budget; shard_start /
+     * shard_count select a slice of the detailed intervals
+     * (shard_count 0 = all remaining), served from the daemon's
+     * checkpoint directory.
+     */
+    std::uint64_t ff_uops = 0;
+    std::uint64_t warm_uops = 0;
+    std::uint64_t detail_uops = 0;
+    std::uint64_t shard_start = 0;
+    std::uint64_t shard_count = 0;
+
+    bool
+    sampled() const
+    {
+        return ff_uops != 0 || warm_uops != 0 || detail_uops != 0;
+    }
+
+    /**
      * Expand the spec into the full processor config it names.
      * @throws stats::ParseError on an unknown base/hash name.
      */

@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "runner/sampled.hh"
+
 namespace srl
 {
 namespace service
@@ -91,9 +93,30 @@ SweepService::runJob(Job job)
         const std::uint64_t run_seed = job.spec.run_seed;
         const std::uint64_t uops = job.spec.uops;
         const bool occupancy = job.spec.occupancy_series;
-        key = chash::pointKey(cfg, suite, uops, run_seed, occupancy);
+        key = chash::pointKey(cfg, suite, uops, run_seed, occupancy,
+                              job.spec.ff_uops, job.spec.warm_uops,
+                              job.spec.detail_uops,
+                              job.spec.shard_start,
+                              job.spec.shard_count);
+        const PointSpec &spec = job.spec;
+        const std::string &ckpt_dir = opts_.ckpt_dir;
         ResultCache::GetResult got = cache_.getOrCompute(
-            key, [&cfg, &suite, uops, run_seed, occupancy] {
+            key,
+            [&cfg, &suite, uops, run_seed, occupancy, &spec,
+             &ckpt_dir] {
+                if (spec.sampled()) {
+                    runner::SampledOptions sopts;
+                    sopts.plan.ff_uops = spec.ff_uops;
+                    sopts.plan.warm_uops = spec.warm_uops;
+                    sopts.plan.detail_uops = spec.detail_uops;
+                    sopts.ckpt_dir = ckpt_dir;
+                    sopts.shard_start = spec.shard_start;
+                    if (spec.shard_count)
+                        sopts.shard_count = spec.shard_count;
+                    return runner::runSampled(cfg, suite, uops,
+                                              run_seed, sopts)
+                        .record;
+                }
                 const core::RunResult r =
                     core::runOne(cfg, suite, uops, run_seed);
                 return runner::recordFromResult(r, run_seed, occupancy);

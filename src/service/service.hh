@@ -56,6 +56,14 @@ struct ServiceOptions
     std::size_t queue_depth = 64;
     /** Backpressure hint handed to rejected clients. */
     unsigned retry_after_ms = 200;
+    /**
+     * Checkpoint directory for sampled points (PointSpec::sampled()):
+     * shard requests restore their interval's `srlsim-ckpt-v1` entry
+     * from here and leave the next shard's behind. Empty = sampled
+     * points run straight through without checkpoint I/O (shard
+     * requests then fail loudly).
+     */
+    std::string ckpt_dir;
 };
 
 class SweepService

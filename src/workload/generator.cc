@@ -288,5 +288,72 @@ Generator::next(isa::Uop &out)
     return true;
 }
 
+void
+GeneratorState::serialize(bytes::ByteWriter &w) const
+{
+    w.u64(rng_state);
+    w.u64(cursor);
+    w.u64(emitted);
+    w.u64(iter_addr.size());
+    for (const Addr a : iter_addr)
+        w.u64(a);
+    w.u64(iter_size.size());
+    for (const std::uint8_t s : iter_size)
+        w.u8(s);
+    w.u64(streams.size());
+    for (const Addr a : streams)
+        w.u64(a);
+    w.u64(next_burst_start);
+}
+
+void
+GeneratorState::deserialize(bytes::ByteReader &r)
+{
+    rng_state = r.u64();
+    cursor = r.u64();
+    emitted = r.u64();
+    iter_addr.resize(r.u64());
+    for (Addr &a : iter_addr)
+        a = r.u64();
+    iter_size.resize(r.u64());
+    for (std::uint8_t &s : iter_size)
+        s = r.u8();
+    streams.resize(r.u64());
+    for (Addr &a : streams)
+        a = r.u64();
+    next_burst_start = r.u64();
+}
+
+GeneratorState
+Generator::captureState() const
+{
+    GeneratorState st;
+    st.rng_state = rng_.rawState();
+    st.cursor = cursor_;
+    st.emitted = emitted_;
+    st.iter_addr = iter_addr_;
+    st.iter_size = iter_size_;
+    st.streams = streams_;
+    st.next_burst_start = next_burst_start_;
+    return st;
+}
+
+void
+Generator::restoreState(const GeneratorState &state)
+{
+    fatal_if(state.iter_addr.size() != slots_.size() ||
+                 state.iter_size.size() != slots_.size() ||
+                 state.streams.size() != streams_.size() ||
+                 state.cursor >= slots_.size(),
+             "generator state does not match this template");
+    rng_.setRawState(state.rng_state);
+    cursor_ = static_cast<std::size_t>(state.cursor);
+    emitted_ = state.emitted;
+    iter_addr_ = state.iter_addr;
+    iter_size_ = state.iter_size;
+    streams_ = state.streams;
+    next_burst_start_ = state.next_burst_start;
+}
+
 } // namespace workload
 } // namespace srl

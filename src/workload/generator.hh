@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "isa/uop.hh"
@@ -47,6 +48,27 @@ struct AddressRegions
     static constexpr Addr kStreamSpacing = Addr{1} << 24;
 };
 
+/**
+ * The generator's dynamic cursor state, capturable at any uop boundary
+ * so a checkpointed sampled run can resume the stream exactly where it
+ * left off. The static template (slots_) is deterministically rebuilt
+ * by re-running the constructor with the same (profile, seed), so only
+ * the per-iteration state travels.
+ */
+struct GeneratorState
+{
+    std::uint64_t rng_state = 0;
+    std::uint64_t cursor = 0;
+    std::uint64_t emitted = 0;
+    std::vector<Addr> iter_addr;
+    std::vector<std::uint8_t> iter_size;
+    std::vector<Addr> streams;
+    std::uint64_t next_burst_start = 0;
+
+    void serialize(bytes::ByteWriter &w) const;
+    void deserialize(bytes::ByteReader &r);
+};
+
 class Generator : public isa::UopStream
 {
   public:
@@ -61,6 +83,15 @@ class Generator : public isa::UopStream
     bool next(isa::Uop &out) override;
 
     std::uint64_t emitted() const { return emitted_; }
+
+    /** Capture the dynamic cursor state (see GeneratorState). */
+    GeneratorState captureState() const;
+
+    /**
+     * Restore state captured from a generator built with the same
+     * (profile, seed); fatals if the template shapes disagree.
+     */
+    void restoreState(const GeneratorState &state);
 
   private:
     /** Address region kinds a memory slot can target. */

@@ -491,6 +491,36 @@ TEST(CanonicalHash, PointParametersFlipKey)
     EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, false), base);
 }
 
+TEST(CanonicalHash, SamplingPlanFlipsKeyButZeroPlanPreservesIt)
+{
+    const core::ProcessorConfig cfg = core::srlConfig();
+    const workload::SuiteProfile suite = testSuite();
+    const auto plain = chash::pointKey(cfg, suite, 1000, 7, true);
+    // An all-zero plan is exactly the plain key: pre-sampling cache
+    // entries keep their addresses.
+    EXPECT_EQ(chash::pointKey(cfg, suite, 1000, 7, true, 0, 0, 0, 0, 0),
+              plain);
+    // Every plan/shard field is part of the address.
+    const auto sampled =
+        chash::pointKey(cfg, suite, 1000, 7, true, 400, 100, 100, 0, 0);
+    EXPECT_NE(sampled, plain);
+    EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, true, 401, 100, 100,
+                              0, 0),
+              sampled);
+    EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, true, 400, 101, 100,
+                              0, 0),
+              sampled);
+    EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, true, 400, 100, 101,
+                              0, 0),
+              sampled);
+    EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, true, 400, 100, 100,
+                              1, 0),
+              sampled);
+    EXPECT_NE(chash::pointKey(cfg, suite, 1000, 7, true, 400, 100, 100,
+                              0, 1),
+              sampled);
+}
+
 TEST(CanonicalHash, ExecutionStrategyFlagsDoNotFlipKey)
 {
     // skip_ahead and issue_scan are exact-equivalence execution
@@ -601,6 +631,11 @@ TEST(ServiceProtocol, PointSpecJsonRoundTrip)
     spec.srl_depth = 512;
     spec.lcf_entries = 256;
     spec.lcf_hash = "lab";
+    spec.ff_uops = 880000;
+    spec.warm_uops = 20000;
+    spec.detail_uops = 100000;
+    spec.shard_start = 3;
+    spec.shard_count = 2;
 
     const std::string wire = spec.toJson().dump();
     const service::PointSpec back =
@@ -615,6 +650,22 @@ TEST(ServiceProtocol, PointSpecJsonRoundTrip)
     EXPECT_EQ(back.lcf_entries, spec.lcf_entries);
     EXPECT_EQ(back.lcf_hash, spec.lcf_hash);
     EXPECT_EQ(back.stq_entries, spec.stq_entries);
+    EXPECT_EQ(back.ff_uops, spec.ff_uops);
+    EXPECT_EQ(back.warm_uops, spec.warm_uops);
+    EXPECT_EQ(back.detail_uops, spec.detail_uops);
+    EXPECT_EQ(back.shard_start, spec.shard_start);
+    EXPECT_EQ(back.shard_count, spec.shard_count);
+    EXPECT_TRUE(back.sampled());
+
+    // A plan-less spec's wire form carries no sampling keys at all
+    // (old servers must keep parsing new clients' plain points).
+    service::PointSpec plain;
+    plain.name = "plain";
+    plain.uops = 1000;
+    const std::string plain_wire = plain.toJson().dump();
+    EXPECT_EQ(plain_wire.find("ff_uops"), std::string::npos);
+    EXPECT_EQ(plain_wire.find("shard"), std::string::npos);
+    EXPECT_FALSE(plain.sampled());
 }
 
 TEST(ServiceProtocol, MaterializationMatchesNamedBuilders)

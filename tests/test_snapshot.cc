@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Hardening contract for the `srlsim-ckpt-v1` checkpoint container.
+ *
+ * A checkpoint that cannot be restored *exactly* must be impossible to
+ * restore *at all*: every corruption — truncated header, truncated or
+ * bit-flipped payload, wrong magic, unsupported schema version,
+ * mismatched run context — and every write failure (ENOSPC included)
+ * raises core::SnapshotError. These tests mirror the TraceWriter /
+ * ResultCache hardening suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.hh"
+#include "core/fast_forward.hh"
+#include "core/sim_state.hh"
+#include "core/snapshot.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+using namespace srl;
+
+/** Self-cleaning temp directory. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/srlsim-test-XXXXXX";
+        EXPECT_NE(mkdtemp(tmpl), nullptr);
+        path = tmpl;
+    }
+
+    ~TempDir()
+    {
+        if (DIR *d = opendir(path.c_str())) {
+            while (const dirent *e = readdir(d)) {
+                const std::string n = e->d_name;
+                if (n != "." && n != "..")
+                    std::remove((path + "/" + n).c_str());
+            }
+            closedir(d);
+        }
+        rmdir(path.c_str());
+    }
+};
+
+/** A checkpoint of genuinely non-trivial state: 20k warmed uops. */
+struct Fixture
+{
+    core::ProcessorConfig cfg = core::srlConfig();
+    workload::SuiteProfile suite = workload::suiteProfile("SFP2K");
+    core::SnapshotContext ctx;
+    core::SimState sim{cfg};
+    workload::Generator gen{suite, 100000, /*seed=*/12345};
+    core::SnapshotMeta meta;
+
+    Fixture()
+    {
+        ctx = core::makeSnapshotContext(cfg, suite, 100000, 12345,
+                                        15000, 5000, 10000);
+        core::FastForwardEngine ff(sim);
+        meta.ff_done = ff.run(gen, 15000, /*warm=*/false);
+        meta.warm_done = ff.run(gen, 5000, /*warm=*/true);
+        meta.consumed_uops = gen.emitted();
+        meta.next_interval = 1;
+        meta.stats.cycles = 4242;
+        meta.stats.committed_uops = 999;
+        meta.occupancy.observe(3, 17);
+        meta.occupancy.observe(0, 4);
+    }
+
+    chash::Hash128
+    save(const std::string &path) const
+    {
+        return core::saveSnapshot(path, ctx, meta, sim,
+                                  gen.captureState());
+    }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+spit(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(Snapshot, RoundTripRestoresByteIdenticalState)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    const chash::Hash128 saved = fx.save(path);
+
+    core::SimState restored(fx.cfg);
+    const core::LoadedSnapshot loaded =
+        core::loadSnapshot(path, fx.ctx, restored);
+    EXPECT_EQ(loaded.digest.lo, saved.lo);
+    EXPECT_EQ(loaded.digest.hi, saved.hi);
+    EXPECT_EQ(loaded.meta.consumed_uops, fx.meta.consumed_uops);
+    EXPECT_EQ(loaded.meta.next_interval, fx.meta.next_interval);
+    EXPECT_EQ(loaded.meta.ff_done, fx.meta.ff_done);
+    EXPECT_EQ(loaded.meta.warm_done, fx.meta.warm_done);
+    EXPECT_EQ(loaded.meta.stats.cycles, fx.meta.stats.cycles);
+    EXPECT_EQ(loaded.meta.stats.committed_uops,
+              fx.meta.stats.committed_uops);
+
+    // Re-digesting the restored state reproduces the stored digest:
+    // the round trip lost nothing.
+    workload::Generator regen(fx.suite, 100000, 12345);
+    regen.restoreState(loaded.gen);
+    const chash::Hash128 redigest = core::snapshotDigest(
+        fx.ctx, loaded.meta, restored, regen.captureState());
+    EXPECT_EQ(redigest.lo, saved.lo);
+    EXPECT_EQ(redigest.hi, saved.hi);
+}
+
+TEST(Snapshot, SaveIsDeterministic)
+{
+    TempDir dir;
+    Fixture a, b;
+    const chash::Hash128 ha = a.save(dir.path + "/a.v1");
+    const chash::Hash128 hb = b.save(dir.path + "/b.v1");
+    EXPECT_EQ(ha.lo, hb.lo);
+    EXPECT_EQ(ha.hi, hb.hi);
+    EXPECT_EQ(slurp(dir.path + "/a.v1"), slurp(dir.path + "/b.v1"));
+}
+
+TEST(Snapshot, MissingFileIsAHardError)
+{
+    TempDir dir;
+    Fixture fx;
+    core::SimState sim(fx.cfg);
+    EXPECT_THROW(
+        core::loadSnapshot(dir.path + "/absent.v1", fx.ctx, sim),
+        core::SnapshotError);
+}
+
+TEST(Snapshot, TruncatedHeaderIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    const std::string blob = slurp(path);
+    core::SimState sim(fx.cfg);
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{7},
+                                   std::size_t{20}, std::size_t{42}}) {
+        spit(path, blob.substr(0, keep));
+        EXPECT_THROW(core::loadSnapshot(path, fx.ctx, sim),
+                     core::SnapshotError)
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(Snapshot, TruncatedPayloadIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    const std::string blob = slurp(path);
+    spit(path, blob.substr(0, blob.size() - blob.size() / 3));
+    core::SimState sim(fx.cfg);
+    EXPECT_THROW(core::loadSnapshot(path, fx.ctx, sim),
+                 core::SnapshotError);
+}
+
+TEST(Snapshot, BadMagicIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    std::string blob = slurp(path);
+    blob[0] = 'X';
+    spit(path, blob);
+    core::SimState sim(fx.cfg);
+    EXPECT_THROW(core::loadSnapshot(path, fx.ctx, sim),
+                 core::SnapshotError);
+}
+
+TEST(Snapshot, UnsupportedVersionIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    std::string blob = slurp(path);
+    blob[15] = 99; // the version u32 sits right after the 15B magic
+    spit(path, blob);
+    core::SimState sim(fx.cfg);
+    EXPECT_THROW(core::loadSnapshot(path, fx.ctx, sim),
+                 core::SnapshotError);
+}
+
+TEST(Snapshot, EveryBitFlippedPayloadByteIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    const std::string blob = slurp(path);
+    constexpr std::size_t kHeader = 15 + 4 + 8 + 16;
+    core::SimState sim(fx.cfg);
+    // Stride through the payload so the test stays fast while still
+    // covering every region (context, meta, memory, caches, tables).
+    const std::size_t stride =
+        std::max<std::size_t>(1, (blob.size() - kHeader) / 97);
+    for (std::size_t i = kHeader; i < blob.size(); i += stride) {
+        std::string bad = blob;
+        bad[i] = static_cast<char>(bad[i] ^ 0x40);
+        spit(path, bad);
+        EXPECT_THROW(core::loadSnapshot(path, fx.ctx, sim),
+                     core::SnapshotError)
+            << "flip at byte " << i << " slipped through";
+    }
+}
+
+TEST(Snapshot, ContextMismatchIsRejected)
+{
+    TempDir dir;
+    Fixture fx;
+    const std::string path = dir.path + "/ckpt.v1";
+    fx.save(path);
+    core::SimState sim(fx.cfg);
+
+    core::SnapshotContext other = fx.ctx;
+    other.run_seed ^= 1;
+    EXPECT_THROW(core::loadSnapshot(path, other, sim),
+                 core::SnapshotError);
+
+    other = fx.ctx;
+    other.detail_uops += 1;
+    EXPECT_THROW(core::loadSnapshot(path, other, sim),
+                 core::SnapshotError);
+
+    // A different config digests differently.
+    core::ProcessorConfig base = core::baselineConfig();
+    const core::SnapshotContext foreign = core::makeSnapshotContext(
+        base, fx.suite, 100000, 12345, 15000, 5000, 10000);
+    EXPECT_THROW(core::loadSnapshot(path, foreign, sim),
+                 core::SnapshotError);
+}
+
+TEST(Snapshot, UnwritableDestinationIsAHardError)
+{
+    Fixture fx;
+    EXPECT_THROW(fx.save("/nonexistent-dir/ckpt.v1"),
+                 core::SnapshotError);
+}
+
+TEST(Snapshot, EnospcWriteFailureIsAHardError)
+{
+    if (::access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    TempDir dir;
+    Fixture fx;
+    // Route the temp file onto /dev/full via a symlink so the flush
+    // inside saveSnapshot hits a real ENOSPC. The final path must not
+    // appear, and the failure must be loud.
+    const std::string path = dir.path + "/ckpt.v1";
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    ASSERT_EQ(::symlink("/dev/full", tmp.c_str()), 0);
+    EXPECT_THROW(fx.save(path), core::SnapshotError);
+    EXPECT_NE(::access(path.c_str(), F_OK), 0)
+        << "failed save left a file under the final name";
+}
+
+TEST(Snapshot, FileNameIsStableAndDistinguishesIntervals)
+{
+    Fixture fx;
+    const std::string n0 = core::snapshotFileName(fx.ctx, 0);
+    EXPECT_EQ(n0, core::snapshotFileName(fx.ctx, 0));
+    EXPECT_NE(n0, core::snapshotFileName(fx.ctx, 1));
+    core::SnapshotContext other = fx.ctx;
+    other.run_seed ^= 1;
+    EXPECT_NE(n0, core::snapshotFileName(other, 0));
+    EXPECT_EQ(n0.substr(0, 5), "ckpt-");
+    EXPECT_EQ(n0.substr(n0.size() - 3), ".v1");
+}
+
+} // namespace

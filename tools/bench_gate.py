@@ -17,6 +17,10 @@ Usage:
 benchmarks in one invocation; every pair is checked and the gate fails
 if any of them regressed.
 
+Rates are recomputed as uops / max(wall_s, --min-wall-s) on both sides:
+sub-millisecond measurements (a fully warm cache replay) are mostly
+timer noise, and the floor keeps those from gating on it.
+
 Exit status: 0 = pass, 1 = regression, 2 = bad input.
 """
 
@@ -39,7 +43,20 @@ def load(path):
     return data
 
 
-def gate_one(fresh_path, base_path, max_regress):
+def effective_rate(data, min_wall_s):
+    """uops/s with the wall clock floored at min_wall_s.
+
+    Sub-millisecond phases (e.g. a fully warm cache replay) produce
+    rates whose denominator is mostly timer/scheduler noise; flooring
+    both sides of the comparison at the same minimum wall keeps the
+    gate meaningful for them without touching benches that run long
+    enough to time honestly.
+    """
+    wall = max(float(data["wall_s"]), min_wall_s)
+    return float(data["uops"]) / wall if wall > 0 else 0.0
+
+
+def gate_one(fresh_path, base_path, max_regress, min_wall_s):
     """Check one fresh/baseline pair; return True when it passes."""
     fresh = load(fresh_path)
     base = load(base_path)
@@ -50,8 +67,8 @@ def gate_one(fresh_path, base_path, max_regress):
               f"refresh the baseline", file=sys.stderr)
         sys.exit(2)
 
-    base_rate = float(base["uops_per_s"])
-    fresh_rate = float(fresh["uops_per_s"])
+    base_rate = effective_rate(base, min_wall_s)
+    fresh_rate = effective_rate(fresh, min_wall_s)
     if base_rate <= 0:
         print("bench_gate: baseline rate is zero", file=sys.stderr)
         sys.exit(2)
@@ -78,6 +95,10 @@ def main():
     ap.add_argument("--max-regress", type=float, default=0.15,
                     help="maximum allowed fractional throughput loss "
                          "(default 0.15)")
+    ap.add_argument("--min-wall-s", type=float, default=0.001,
+                    help="floor applied to wall_s on both sides before "
+                         "computing rates, so sub-millisecond phases "
+                         "don't gate on timer noise (default 0.001)")
     args = ap.parse_args()
 
     if len(args.fresh) != len(args.baseline):
@@ -87,7 +108,8 @@ def main():
 
     ok = True
     for fresh_path, base_path in zip(args.fresh, args.baseline):
-        ok = gate_one(fresh_path, base_path, args.max_regress) and ok
+        ok = gate_one(fresh_path, base_path, args.max_regress,
+                      args.min_wall_s) and ok
     if not ok:
         print("bench_gate: model throughput regressed beyond the "
               "tolerance; investigate before merging (or refresh the "
