@@ -22,6 +22,18 @@
  * to the straight-through run — the report of shard K..end equals the
  * tail of the full run's report, and CI diffs exactly that.
  *
+ * Pipelined parallel mode (DESIGN.md §15):
+ *   --sample-jobs N    run under the pipelined independent-interval
+ *                      engine with N concurrent detail workers. The
+ *                      report, trace, and digest are byte-identical
+ *                      at every N >= 1 (CI diffs N=1 vs N=4) but
+ *                      deliberately differ from the chained default
+ *                      (no --sample-jobs). Incompatible with
+ *                      --shard-start/--shard-count.
+ *   --ckpt-keep-last K with --ckpt-dir: retain only the K most recent
+ *                      interval checkpoints (0 = keep all); the shard
+ *                      handoff checkpoint is always kept
+ *
  * Other options:
  *   --config NAME      base config: baseline | srl | hierarchical |
  *                      ideal | monolithic (default srl)
@@ -61,6 +73,7 @@ usage(const char *argv0)
                  "usage: %s [--config NAME] [--suite NAME] [--uops N] "
                  "[--ff N] [--warm N] [--detail N] [--seed S] "
                  "[--ckpt-dir DIR] [--shard-start K] [--shard-count N] "
+                 "[--sample-jobs N] [--ckpt-keep-last K] "
                  "[--out FILE] [--trace-out FILE] [--trace-interval K] "
                  "[--sample-every N]\n",
                  argv0);
@@ -125,6 +138,11 @@ main(int argc, char **argv)
             sopts.shard_start = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--shard-count")) {
             shard_count = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--sample-jobs")) {
+            sopts.sample_jobs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--ckpt-keep-last")) {
+            sopts.ckpt_keep_last = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--out")) {
             out_path = v;
         } else if (const char *v = arg("--trace-out")) {

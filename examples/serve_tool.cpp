@@ -23,6 +23,10 @@
  *   --ckpt-dir DIR     srlsim-ckpt-v1 checkpoint directory for sampled
  *                      points: shard requests restore from (and save
  *                      into) this store
+ *   --sample-jobs N    detail workers per pipelined sampled point
+ *                      (DESIGN.md §15); a server-side throughput knob
+ *                      only — pipelined results (and cache keys) are
+ *                      identical at any value (default 1)
  *   --stats-out FILE   write the service/cache counters report
  *                      (srlsim-stats-v1) on exit
  *
@@ -61,7 +65,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--cache-dir DIR] [--jobs N] "
                  "[--queue-depth N] [--retry-ms N] [--max-entries N] "
-                 "[--ckpt-dir DIR] [--stats-out FILE]\n",
+                 "[--ckpt-dir DIR] [--sample-jobs N] "
+                 "[--stats-out FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -112,6 +117,9 @@ main(int argc, char **argv)
             max_entries = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--ckpt-dir")) {
             svc_opts.ckpt_dir = v;
+        } else if (const char *v = arg("--sample-jobs")) {
+            svc_opts.sample_jobs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--stats-out")) {
             stats_out = v;
         } else {

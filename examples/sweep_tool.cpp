@@ -48,6 +48,13 @@
  * runs under that plan (runner::runSampled) instead of fully detailed.
  * Sampling composes with --server (the plan travels in the point
  * specs) but not with --cache-dir or --trace-out.
+ *   --sample-jobs N  run each sampled point under the pipelined
+ *                    independent-interval engine (DESIGN.md §15) with
+ *                    N concurrent detail workers per point. Reports
+ *                    are byte-identical at every N >= 1. In --server
+ *                    mode the spec is marked pipelined (part of the
+ *                    cache key) while the daemon picks its own worker
+ *                    count — results are jobs-invariant either way.
  *
  * Traces are captured on the worker threads and are byte-identical
  * regardless of --jobs, so the CI determinism diff covers them too.
@@ -84,7 +91,8 @@ usage(const char *argv0)
                  "[--server-stats FILE] "
                  "[--trace-out FILE] [--trace-point NAME] "
                  "[--sample-every N] "
-                 "[--ff N] [--warm N] [--detail N] [--ckpt-dir DIR]\n",
+                 "[--ff N] [--warm N] [--detail N] [--ckpt-dir DIR] "
+                 "[--sample-jobs N]\n",
                  argv0);
     std::exit(1);
 }
@@ -127,6 +135,7 @@ main(int argc, char **argv)
     std::uint64_t warm_uops = 0;
     std::uint64_t detail_uops = 0;
     std::string ckpt_dir;
+    unsigned sample_jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) {
@@ -166,6 +175,9 @@ main(int argc, char **argv)
             detail_uops = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--ckpt-dir")) {
             ckpt_dir = v;
+        } else if (const char *v = arg("--sample-jobs")) {
+            sample_jobs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else {
             usage(argv[0]);
         }
@@ -179,6 +191,11 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--ff/--warm/--detail do not compose with "
                      "--cache-dir or --trace-out\n");
+        return 1;
+    }
+    if (sample_jobs > 0 && !sampled) {
+        std::fprintf(stderr, "--sample-jobs needs a sampling plan "
+                             "(--ff/--warm/--detail)\n");
         return 1;
     }
     if (!ckpt_dir.empty() && !sampled) {
@@ -214,6 +231,7 @@ main(int argc, char **argv)
             s.ff_uops = ff_uops;
             s.warm_uops = warm_uops;
             s.detail_uops = detail_uops;
+            s.pipelined = sample_jobs > 0;
         }
     }
 
@@ -261,13 +279,15 @@ main(int argc, char **argv)
         tasks.reserve(points.size());
         for (const auto &p : points) {
             tasks.push_back({p.name, [&p, ff_uops, warm_uops,
-                                      detail_uops, &ckpt_dir](
+                                      detail_uops, &ckpt_dir,
+                                      sample_jobs](
                                          std::uint64_t run_seed) {
                 runner::SampledOptions sopts;
                 sopts.plan.ff_uops = ff_uops;
                 sopts.plan.warm_uops = warm_uops;
                 sopts.plan.detail_uops = detail_uops;
                 sopts.ckpt_dir = ckpt_dir;
+                sopts.sample_jobs = sample_jobs;
                 return runner::runSampled(p.config, p.suite, p.uops,
                                           run_seed, sopts)
                     .record;

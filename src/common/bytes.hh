@@ -39,6 +39,18 @@ class CodecError : public std::runtime_error
 class ByteWriter
 {
   public:
+    ByteWriter() = default;
+
+    /**
+     * Recycle @p buf as the output buffer: its contents are cleared
+     * but its capacity is kept, so a writer fed from a buffer pool
+     * reaches a steady state where serialization allocates nothing.
+     */
+    explicit ByteWriter(std::string &&buf) : buf_(std::move(buf))
+    {
+        buf_.clear();
+    }
+
     void
     u8(std::uint8_t v)
     {

@@ -321,7 +321,7 @@ pointKey(const core::ProcessorConfig &config,
          std::uint64_t run_seed, bool occupancy_series,
          std::uint64_t ff_uops, std::uint64_t warm_uops,
          std::uint64_t detail_uops, std::uint64_t shard_start,
-         std::uint64_t shard_count)
+         std::uint64_t shard_count, bool pipelined)
 {
     if (ff_uops == 0 && warm_uops == 0 && detail_uops == 0)
         return pointKey(config, suite, uops, run_seed,
@@ -339,6 +339,10 @@ pointKey(const core::ProcessorConfig &config,
     w.u64("detail_uops", detail_uops);
     w.u64("shard_start", shard_start);
     w.u64("shard_count", shard_count);
+    // Folded in only when set so every chained-mode address predating
+    // the pipelined engine survives unchanged.
+    if (pipelined)
+        w.boolean("pipelined", true);
     w.end("sampling");
     std::string bytes = w.bytes();
     bytes += serializeConfig(config);

@@ -130,13 +130,21 @@ Hash128 pointKey(const core::ProcessorConfig &config,
  * ff/warm/detail uops and the shard window) into the address. When the
  * whole plan is zero (a fully detailed run) this is exactly the plain
  * pointKey — existing cache entries keep their addresses.
+ *
+ * @p pipelined selects the independent-interval semantics (DESIGN.md
+ * §15), whose results legitimately differ from the chained loop's —
+ * so it is folded into the address, but only when true, preserving
+ * every pre-existing chained-mode cache address. The pipelined worker
+ * count is deliberately NOT part of the key: results are
+ * byte-identical at any worker count.
  */
 Hash128 pointKey(const core::ProcessorConfig &config,
                  const workload::SuiteProfile &suite,
                  std::uint64_t uops, std::uint64_t run_seed,
                  bool occupancy_series, std::uint64_t ff_uops,
                  std::uint64_t warm_uops, std::uint64_t detail_uops,
-                 std::uint64_t shard_start, std::uint64_t shard_count);
+                 std::uint64_t shard_start, std::uint64_t shard_count,
+                 bool pipelined = false);
 
 } // namespace chash
 } // namespace srl

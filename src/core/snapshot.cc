@@ -98,16 +98,33 @@ deserializeMeta(bytes::ByteReader &r)
     return meta;
 }
 
-std::string
-buildPayload(const SnapshotContext &ctx, const SnapshotMeta &meta,
-             const SimState &sim, const workload::GeneratorState &gen)
+/**
+ * Decode and validate a checkpoint payload (context check, state
+ * restore, trailing-bytes check). @p what names the source in error
+ * messages. The digest field of the result is left zero.
+ */
+LoadedSnapshot
+parsePayload(const char *payload, std::size_t payload_size,
+             const SnapshotContext &ctx, SimState &sim,
+             const std::string &what)
 {
-    bytes::ByteWriter w;
-    serializeContext(w, ctx);
-    serializeMeta(w, meta);
-    sim.serialize(w);
-    gen.serialize(w);
-    return w.take();
+    try {
+        bytes::ByteReader r(payload, payload_size);
+        const SnapshotContext stored = deserializeContext(r);
+        if (!sameContext(stored, ctx))
+            throw SnapshotError(
+                "snapshot: context mismatch in " + what +
+                " (different config/suite/seed/plan)");
+        LoadedSnapshot out;
+        out.meta = deserializeMeta(r);
+        sim.deserialize(r);
+        out.gen.deserialize(r);
+        r.expectEnd();
+        return out;
+    } catch (const bytes::CodecError &e) {
+        throw SnapshotError("snapshot: malformed payload in " + what +
+                            ": " + e.what());
+    }
 }
 
 bool
@@ -157,20 +174,33 @@ accumulateStats(ProcessorStats &a, const ProcessorStats &b)
     visitStatsFields(a, [&](std::uint64_t &v) { v += src[i++]; });
 }
 
+std::string
+buildSnapshotPayload(const SnapshotContext &ctx,
+                     const SnapshotMeta &meta, const SimState &sim,
+                     const workload::GeneratorState &gen,
+                     std::string &&recycled)
+{
+    bytes::ByteWriter w(std::move(recycled));
+    serializeContext(w, ctx);
+    serializeMeta(w, meta);
+    sim.serialize(w);
+    gen.serialize(w);
+    return w.take();
+}
+
 chash::Hash128
 snapshotDigest(const SnapshotContext &ctx, const SnapshotMeta &meta,
                const SimState &sim, const workload::GeneratorState &gen)
 {
-    const std::string payload = buildPayload(ctx, meta, sim, gen);
+    const std::string payload =
+        buildSnapshotPayload(ctx, meta, sim, gen);
     return chash::hashBytes(payload.data(), payload.size());
 }
 
 chash::Hash128
-saveSnapshot(const std::string &path, const SnapshotContext &ctx,
-             const SnapshotMeta &meta, const SimState &sim,
-             const workload::GeneratorState &gen)
+writeSnapshotPayload(const std::string &path,
+                     const std::string &payload)
 {
-    const std::string payload = buildPayload(ctx, meta, sim, gen);
     const chash::Hash128 digest =
         chash::hashBytes(payload.data(), payload.size());
 
@@ -203,6 +233,15 @@ saveSnapshot(const std::string &path, const SnapshotContext &ctx,
         throw SnapshotError("snapshot: cannot rename into " + path);
     }
     return digest;
+}
+
+chash::Hash128
+saveSnapshot(const std::string &path, const SnapshotContext &ctx,
+             const SnapshotMeta &meta, const SimState &sim,
+             const workload::GeneratorState &gen)
+{
+    return writeSnapshotPayload(
+        path, buildSnapshotPayload(ctx, meta, sim, gen));
 }
 
 LoadedSnapshot
@@ -241,31 +280,26 @@ loadSnapshot(const std::string &path, const SnapshotContext &ctx,
         throw SnapshotError("snapshot: payload digest mismatch in " +
                             path + " (corrupt file)");
 
-    try {
-        bytes::ByteReader r(payload, payload_size);
-        const SnapshotContext stored = deserializeContext(r);
-        if (!sameContext(stored, ctx))
-            throw SnapshotError(
-                "snapshot: context mismatch in " + path +
-                " (different config/suite/seed/plan)");
-        LoadedSnapshot out;
-        out.meta = deserializeMeta(r);
-        sim.deserialize(r);
-        out.gen.deserialize(r);
-        r.expectEnd();
-        out.digest = digest;
-        return out;
-    } catch (const bytes::CodecError &e) {
-        throw SnapshotError("snapshot: malformed payload in " + path +
-                            ": " + e.what());
-    }
+    LoadedSnapshot out = parsePayload(payload, payload_size, ctx, sim, path);
+    out.digest = digest;
+    return out;
+}
+
+LoadedSnapshot
+adoptSnapshotPayload(const std::string &payload,
+                     const SnapshotContext &ctx, SimState &sim)
+{
+    return parsePayload(payload.data(), payload.size(), ctx, sim,
+                        "<in-memory payload>");
 }
 
 std::string
-snapshotFileName(const SnapshotContext &ctx, std::uint64_t interval)
+snapshotFileName(const SnapshotContext &ctx, std::uint64_t interval,
+                 bool pipelined)
 {
     bytes::ByteWriter w;
-    w.str("srlsim-ckpt-name-v1");
+    w.str(pipelined ? "srlsim-ckpt-name-v1-pipelined"
+                    : "srlsim-ckpt-name-v1");
     serializeContext(w, ctx);
     w.u64(interval);
     const std::string &b = w.data();

@@ -150,6 +150,28 @@ chash::Hash128 snapshotDigest(const SnapshotContext &ctx,
                               const workload::GeneratorState &gen);
 
 /**
+ * Serialize (context, meta, sim, gen) into the `srlsim-ckpt-v1`
+ * *payload* byte string — exactly the bytes that follow the file
+ * header on disk, so an in-memory handoff and a persisted checkpoint
+ * are the same encoding. @p recycled (possibly empty) is consumed as
+ * the output buffer: its capacity is reused, so a pipelined producer
+ * cycling buffers through a pool allocates nothing in steady state.
+ */
+std::string buildSnapshotPayload(const SnapshotContext &ctx,
+                                 const SnapshotMeta &meta,
+                                 const SimState &sim,
+                                 const workload::GeneratorState &gen,
+                                 std::string &&recycled = {});
+
+/**
+ * Atomically write an already-built payload to @p path under the
+ * `srlsim-ckpt-v1` container (header + digest + payload).
+ * @return payload digest. @throws SnapshotError on I/O failure.
+ */
+chash::Hash128 writeSnapshotPayload(const std::string &path,
+                                    const std::string &payload);
+
+/**
  * Atomically write a checkpoint to @p path. @return payload digest.
  * @throws SnapshotError on any I/O failure (ENOSPC included).
  */
@@ -176,11 +198,29 @@ LoadedSnapshot loadSnapshot(const std::string &path,
                             const SnapshotContext &ctx, SimState &sim);
 
 /**
+ * Restore simulator state from an in-memory payload produced by
+ * buildSnapshotPayload: @p sim is overwritten, the meta and generator
+ * cursor are returned. Validates the embedded context against @p ctx
+ * (and payload well-formedness) exactly like loadSnapshot, but skips
+ * the container digest check — the bytes never left the process. The
+ * returned digest field is zero.
+ * @throws SnapshotError on context mismatch or malformed payload.
+ */
+LoadedSnapshot adoptSnapshotPayload(const std::string &payload,
+                                    const SnapshotContext &ctx,
+                                    SimState &sim);
+
+/**
  * Canonical file name of the checkpoint at detailed-interval
  * boundary @p interval of the run @p ctx: "ckpt-<32 hex>.v1".
+ * Pipelined-mode entry checkpoints (independent-interval semantics,
+ * DESIGN.md §15) carry different state for the same (ctx, interval)
+ * than chained-mode ones, so @p pipelined salts the name — the two
+ * modes can share a directory without ever colliding.
  */
 std::string snapshotFileName(const SnapshotContext &ctx,
-                             std::uint64_t interval);
+                             std::uint64_t interval,
+                             bool pipelined = false);
 
 } // namespace core
 } // namespace srl

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/random.hh"
@@ -11,6 +18,7 @@
 #include "core/sim_state.hh"
 #include "core/simulator.hh"
 #include "core/snapshot.hh"
+#include "runner/thread_pool.hh"
 #include "workload/generator.hh"
 #include "workload/prewarm.hh"
 
@@ -56,172 +64,46 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-} // namespace
-
-SampledResult
-runSampled(const core::ProcessorConfig &config,
-           const workload::SuiteProfile &suite,
-           std::uint64_t total_uops, std::uint64_t seed_override,
-           const SampledOptions &opts)
+/**
+ * Keep-last-K pruning of interval checkpoints written by one run.
+ * Pinned saves (shard handoff points — the next shard's entry) are
+ * never pruned; keep == 0 disables pruning entirely.
+ */
+class CkptRetention
 {
-    const SampledPlan &plan = opts.plan;
-    if (plan.detail_uops == 0)
-        throw std::invalid_argument(
-            "runSampled: plan.detail_uops must be > 0");
+  public:
+    explicit CkptRetention(std::uint64_t keep) : keep_(keep) {}
 
-    const std::uint64_t interval_len = plan.intervalUops();
-    const std::uint64_t num_intervals =
-        (total_uops + interval_len - 1) / interval_len;
-    if (opts.shard_start >= num_intervals)
-        throw std::invalid_argument(
-            "runSampled: shard_start beyond the last interval (" +
-            std::to_string(num_intervals) + " intervals)");
-    const std::uint64_t end_interval =
-        opts.shard_count > num_intervals - opts.shard_start
-            ? num_intervals
-            : opts.shard_start + opts.shard_count;
-    if (opts.shard_start > 0 && opts.ckpt_dir.empty())
-        throw std::invalid_argument(
-            "runSampled: sharded run needs a checkpoint directory");
-
-    // Same seed plumbing as runOne: the effective config re-keys the
-    // snoop stream, while the checkpoint context hashes the caller's
-    // config (the seed travels separately in the context).
-    core::ProcessorConfig cfg = config;
-    if (seed_override)
-        cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
-    const core::SnapshotContext ctx = core::makeSnapshotContext(
-        config, suite, total_uops, seed_override, plan.ff_uops,
-        plan.warm_uops, plan.detail_uops);
-
-    // The generator is used directly (not through the stream cache):
-    // sampled runs need its capture/restore cursor.
-    workload::Generator gen(suite, total_uops, seed_override);
-    core::SimState sim(cfg);
-    core::FastForwardEngine ff(sim);
-    core::SnapshotMeta meta;
-
-    SampledResult result;
-
-    if (opts.shard_start == 0) {
-        // Warmed-cache methodology at uop zero, exactly as runOne.
-        workload::prewarmCaches(suite, sim.hier);
-    } else {
-        const std::string path =
-            opts.ckpt_dir + "/" +
-            core::snapshotFileName(ctx, opts.shard_start);
-        const core::LoadedSnapshot loaded =
-            core::loadSnapshot(path, ctx, sim);
-        if (loaded.meta.next_interval != opts.shard_start)
-            throw core::SnapshotError(
-                "snapshot: " + path + " resumes interval " +
-                std::to_string(loaded.meta.next_interval) +
-                ", expected " + std::to_string(opts.shard_start));
-        meta = loaded.meta;
-        gen.restoreState(loaded.gen);
+    void
+    saved(const std::string &path, bool pinned)
+    {
+        if (keep_ == 0 || pinned)
+            return;
+        deletable_.push_back(path);
+        while (deletable_.size() > keep_) {
+            std::remove(deletable_.front().c_str());
+            deletable_.pop_front();
+        }
     }
 
-    // Fast-forward (and warm) up to the detail entry of interval @p k,
-    // then checkpoint that entry point when a directory is configured.
-    const auto advanceToDetail = [&](std::uint64_t k) {
-        const std::uint64_t base = k * interval_len;
-        const std::uint64_t ff_span =
-            std::min(plan.ff_uops, total_uops - base);
-        const std::uint64_t warm_span =
-            std::min(plan.warm_uops, total_uops - base - ff_span);
-        const auto t0 = std::chrono::steady_clock::now();
-        meta.ff_done += ff.run(gen, ff_span, /*warm=*/false);
-        meta.warm_done += ff.run(gen, warm_span, /*warm=*/true);
-        result.ff_wall_s += secondsSince(t0);
-        meta.consumed_uops = gen.emitted();
-        meta.next_interval = k;
-        if (!opts.ckpt_dir.empty()) {
-            const std::string path = opts.ckpt_dir + "/" +
-                                     core::snapshotFileName(ctx, k);
-            core::saveSnapshot(path, ctx, meta, sim,
-                               gen.captureState());
-            result.ckpts_saved.push_back(path);
-        }
-    };
+  private:
+    std::uint64_t keep_;
+    std::deque<std::string> deletable_;
+};
 
-    for (std::uint64_t k = opts.shard_start; k < end_interval; ++k) {
-        const bool restored_here =
-            k == opts.shard_start && opts.shard_start > 0;
-        if (!restored_here)
-            advanceToDetail(k);
-
-        const std::uint64_t detail_span =
-            std::min(plan.detail_uops, total_uops - meta.consumed_uops);
-        if (detail_span == 0)
-            break;
-
-        LimitStream seg(gen, detail_span);
-        core::Processor cpu(cfg, seg, sim,
-                            /*start_seq=*/meta.consumed_uops);
-
-        const bool traced =
-            opts.trace_interval >= 0 &&
-            static_cast<std::uint64_t>(opts.trace_interval) == k;
-        std::shared_ptr<obs::Recording> rec;
-        obs::ProbeBus bus;
-        if (traced) {
-            rec = std::make_shared<obs::Recording>(
-                opts.obs.ring_capacity, opts.obs.sample_every);
-            rec->meta["config"] = config.name;
-            rec->meta["suite"] = suite.name;
-            rec->meta["uops"] = std::to_string(total_uops);
-            rec->meta["seed"] = std::to_string(seed_override);
-            rec->meta["interval"] = std::to_string(k);
-            bus.attach(&rec->ring);
-            cpu.attachProbeBus(&bus);
-            if (opts.obs.sample_every > 0)
-                cpu.attachSampler(&rec->sampler);
-        }
-
-        const auto t0 = std::chrono::steady_clock::now();
-        const core::ProcessorStats &s = cpu.run();
-        result.detail_wall_s += secondsSince(t0);
-
-        if (rec) {
-            rec->sampler.dropGauges();
-            rec->meta["cycles"] = std::to_string(s.cycles);
-            result.trace_json = obs::toChromeTrace(*rec);
-        }
-
-        cpu.exportState(sim);
-        core::accumulateStats(meta.stats, s);
-        meta.occupancy.merge(cpu.srlOccupancy());
-        meta.detail_done += seg.taken();
-        meta.consumed_uops = gen.emitted();
-        meta.next_interval = k + 1;
-        ++result.intervals_run;
-
-        stats::RunRecord irec;
-        irec.name = "interval_" + std::to_string(k);
-        irec.meta["interval"] = std::to_string(k);
-        irec.set("uops", static_cast<double>(s.committed_uops));
-        irec.set("cycles", static_cast<double>(s.cycles));
-        irec.set("ipc", s.ipc());
-        result.interval_records.push_back(std::move(irec));
-    }
-
-    // Shard handoff: a shard that stops before the last interval also
-    // fast-forwards into (and checkpoints) the next shard's entry
-    // point, so a chain of shards needs no overlap to cover the run.
-    if (end_interval < num_intervals && !opts.ckpt_dir.empty() &&
-        end_interval * interval_len < total_uops &&
-        meta.next_interval == end_interval)
-        advanceToDetail(end_interval);
-
-    result.stats = meta.stats;
-    result.ff_uops = meta.ff_done;
-    result.warm_uops = meta.warm_done;
-    result.detail_uops = meta.detail_done;
-    result.final_digest =
-        core::snapshotDigest(ctx, meta, sim, gen.captureState());
-
-    // Aggregate record, mirroring recordFromResult's field order so
-    // sampled and detailed reports read alike.
+/**
+ * Aggregate record over the detailed intervals, mirroring
+ * recordFromResult's field order so sampled and detailed reports read
+ * alike. Shared by the chained and pipelined drivers; @p pipelined
+ * marks the record so the two modes (whose numbers legitimately
+ * differ) are never mistaken for each other.
+ */
+stats::RunRecord
+aggregateRecord(const core::ProcessorConfig &config,
+                const workload::SuiteProfile &suite,
+                std::uint64_t seed_override, const SampledPlan &plan,
+                const core::SnapshotMeta &meta, bool pipelined)
+{
     stats::RunRecord rec;
     rec.meta["config"] = config.name;
     rec.meta["suite"] = suite.name;
@@ -229,6 +111,8 @@ runSampled(const core::ProcessorConfig &config,
     rec.meta["plan"] = std::to_string(plan.ff_uops) + "/" +
                        std::to_string(plan.warm_uops) + "/" +
                        std::to_string(plan.detail_uops);
+    if (pipelined)
+        rec.meta["pipelined"] = "1";
 
     const core::ProcessorStats &s = meta.stats;
     rec.set("uops", static_cast<double>(s.committed_uops));
@@ -283,7 +167,590 @@ runSampled(const core::ProcessorConfig &config,
     // straight run's), unlike result.intervals_run which is local.
     rec.set("sampled_intervals",
             static_cast<double>(meta.next_interval));
-    result.record = std::move(rec);
+    return rec;
+}
+
+/** Per-interval row ("interval_<k>": uops / cycles / ipc). */
+stats::RunRecord
+intervalRecord(std::uint64_t k, const core::ProcessorStats &s)
+{
+    stats::RunRecord irec;
+    irec.name = "interval_" + std::to_string(k);
+    irec.meta["interval"] = std::to_string(k);
+    irec.set("uops", static_cast<double>(s.committed_uops));
+    irec.set("cycles", static_cast<double>(s.cycles));
+    irec.set("ipc", s.ipc());
+    return irec;
+}
+
+/**
+ * Per-interval snoop stream key, pipelined mode: intervals are
+ * independent units of work, so each one draws external snoops from
+ * its own deterministically derived cursor instead of chaining one
+ * cursor through the run (which would serialize the intervals).
+ */
+std::uint64_t
+pipelinedSnoopCursor(std::uint64_t snoop_seed, std::uint64_t interval)
+{
+    return Random(splitmix64(snoop_seed ^
+                             splitmix64(interval + 1)))
+        .rawState();
+}
+
+// ------------------------------------------------------------------
+// Pipelined mode plumbing
+// ------------------------------------------------------------------
+
+/** One checkpoint handed from the producer to a detail worker. */
+struct WorkItem
+{
+    std::uint64_t interval = 0;
+    std::uint64_t detail_span = 0;
+    std::uint64_t start_seq = 0;
+    std::string payload; ///< srlsim-ckpt-v1 payload bytes
+};
+
+/** What one detail worker produced for one interval. */
+struct IntervalOutcome
+{
+    core::ProcessorStats stats;
+    stats::Occupancy occupancy;
+    std::uint64_t taken = 0;
+    double wall_s = 0.0;
+    std::string trace_json;
+};
+
+/**
+ * Shared state of one pipelined run: the bounded checkpoint queue
+ * (producer -> workers), the result map (workers -> stitcher), the
+ * recycled-buffer pool, and failure propagation. All waits carry the
+ * abort predicate so one failing thread releases every other.
+ */
+class Pipeline
+{
+  public:
+    explicit Pipeline(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Producer: block until there is queue space, then enqueue.
+     * @return false when the run aborted meanwhile. */
+    bool
+    push(WorkItem &&item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_cv_.wait(lock, [this] {
+            return aborted_ || queue_.size() < capacity_;
+        });
+        if (aborted_)
+            return false;
+        queue_.push_back(std::move(item));
+        ++produced_;
+        items_cv_.notify_one();
+        return true;
+    }
+
+    /** Producer: no more items will be pushed. */
+    void
+    finishProducing()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        closed_ = true;
+        items_cv_.notify_all();
+        results_cv_.notify_all();
+    }
+
+    /** Worker: dequeue the next checkpoint.
+     * @return false when the queue is drained-and-closed or the run
+     * aborted. */
+    bool
+    pop(WorkItem &item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        items_cv_.wait(lock, [this] {
+            return aborted_ || closed_ || !queue_.empty();
+        });
+        if (aborted_ || queue_.empty())
+            return false;
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        space_cv_.notify_one();
+        return true;
+    }
+
+    /** Worker: post interval @p k's outcome for the stitcher. */
+    void
+    post(std::uint64_t k, IntervalOutcome &&outcome)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        results_[k] = std::move(outcome);
+        results_cv_.notify_all();
+    }
+
+    /**
+     * Stitcher: wait for interval @p k's outcome. @return false when
+     * no outcome will ever arrive (producer finished below k, or the
+     * run aborted).
+     */
+    bool
+    await(std::uint64_t k, IntervalOutcome &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        results_cv_.wait(lock, [this, k] {
+            return aborted_ || results_.count(k) != 0 ||
+                   (closed_ && k >= produced_);
+        });
+        const auto it = results_.find(k);
+        if (it == results_.end())
+            return false;
+        out = std::move(it->second);
+        results_.erase(it);
+        return true;
+    }
+
+    /** Any thread: record the first failure and release everyone. */
+    void
+    fail(std::exception_ptr e)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!error_)
+            error_ = std::move(e);
+        aborted_ = true;
+        space_cv_.notify_all();
+        items_cv_.notify_all();
+        results_cv_.notify_all();
+    }
+
+    bool
+    aborted() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return aborted_;
+    }
+
+    /** After all threads joined: rethrow the first failure, if any. */
+    void
+    rethrowIfFailed()
+    {
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+    /** Recycle a payload buffer (keeps its capacity). */
+    void
+    recycle(std::string &&buf)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        pool_.push_back(std::move(buf));
+    }
+
+    /** Get a recycled payload buffer ("" on a cold pool). */
+    std::string
+    buffer()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (pool_.empty())
+            return {};
+        std::string buf = std::move(pool_.back());
+        pool_.pop_back();
+        return buf;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable space_cv_;   // producer waits for room
+    std::condition_variable items_cv_;   // workers wait for items
+    std::condition_variable results_cv_; // stitcher waits for results
+    std::deque<WorkItem> queue_;
+    std::size_t capacity_;
+    std::uint64_t produced_ = 0;
+    bool closed_ = false;
+    bool aborted_ = false;
+    std::exception_ptr error_;
+    std::map<std::uint64_t, IntervalOutcome> results_;
+    std::vector<std::string> pool_;
+};
+
+} // namespace
+
+SampledResult
+runSampled(const core::ProcessorConfig &config,
+           const workload::SuiteProfile &suite,
+           std::uint64_t total_uops, std::uint64_t seed_override,
+           const SampledOptions &opts)
+{
+    if (opts.sample_jobs > 0)
+        return runSampledPipelined(config, suite, total_uops,
+                                   seed_override, opts);
+
+    const SampledPlan &plan = opts.plan;
+    if (plan.detail_uops == 0)
+        throw std::invalid_argument(
+            "runSampled: plan.detail_uops must be > 0");
+
+    const std::uint64_t interval_len = plan.intervalUops();
+    const std::uint64_t num_intervals =
+        (total_uops + interval_len - 1) / interval_len;
+    if (opts.shard_start >= num_intervals)
+        throw std::invalid_argument(
+            "runSampled: shard_start beyond the last interval (" +
+            std::to_string(num_intervals) + " intervals)");
+    const std::uint64_t end_interval =
+        opts.shard_count > num_intervals - opts.shard_start
+            ? num_intervals
+            : opts.shard_start + opts.shard_count;
+    if (opts.shard_start > 0 && opts.ckpt_dir.empty())
+        throw std::invalid_argument(
+            "runSampled: sharded run needs a checkpoint directory");
+
+    // Same seed plumbing as runOne: the effective config re-keys the
+    // snoop stream, while the checkpoint context hashes the caller's
+    // config (the seed travels separately in the context).
+    core::ProcessorConfig cfg = config;
+    if (seed_override)
+        cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
+    const core::SnapshotContext ctx = core::makeSnapshotContext(
+        config, suite, total_uops, seed_override, plan.ff_uops,
+        plan.warm_uops, plan.detail_uops);
+
+    // The generator is used directly (not through the stream cache):
+    // sampled runs need its capture/restore cursor.
+    workload::Generator gen(suite, total_uops, seed_override);
+    core::SimState sim(cfg);
+    core::FastForwardEngine ff(sim);
+    core::SnapshotMeta meta;
+    CkptRetention retention(opts.ckpt_keep_last);
+
+    SampledResult result;
+
+    if (opts.shard_start == 0) {
+        // Warmed-cache methodology at uop zero, exactly as runOne.
+        workload::prewarmCaches(suite, sim.hier);
+    } else {
+        const std::string path =
+            opts.ckpt_dir + "/" +
+            core::snapshotFileName(ctx, opts.shard_start);
+        const core::LoadedSnapshot loaded =
+            core::loadSnapshot(path, ctx, sim);
+        if (loaded.meta.next_interval != opts.shard_start)
+            throw core::SnapshotError(
+                "snapshot: " + path + " resumes interval " +
+                std::to_string(loaded.meta.next_interval) +
+                ", expected " + std::to_string(opts.shard_start));
+        meta = loaded.meta;
+        gen.restoreState(loaded.gen);
+    }
+
+    // Fast-forward (and warm) up to the detail entry of interval @p k,
+    // then checkpoint that entry point when a directory is configured.
+    // The shard handoff checkpoint is pinned against retention: it is
+    // the next shard's entry point.
+    const auto advanceToDetail = [&](std::uint64_t k, bool handoff) {
+        const std::uint64_t base = k * interval_len;
+        const std::uint64_t ff_span =
+            std::min(plan.ff_uops, total_uops - base);
+        const std::uint64_t warm_span =
+            std::min(plan.warm_uops, total_uops - base - ff_span);
+        const auto t0 = std::chrono::steady_clock::now();
+        meta.ff_done += ff.run(gen, ff_span, /*warm=*/false);
+        meta.warm_done += ff.run(gen, warm_span, /*warm=*/true);
+        result.ff_wall_s += secondsSince(t0);
+        meta.consumed_uops = gen.emitted();
+        meta.next_interval = k;
+        if (!opts.ckpt_dir.empty()) {
+            const std::string path = opts.ckpt_dir + "/" +
+                                     core::snapshotFileName(ctx, k);
+            core::saveSnapshot(path, ctx, meta, sim,
+                               gen.captureState());
+            result.ckpts_saved.push_back(path);
+            retention.saved(path, handoff);
+        }
+    };
+
+    for (std::uint64_t k = opts.shard_start; k < end_interval; ++k) {
+        const bool restored_here =
+            k == opts.shard_start && opts.shard_start > 0;
+        if (!restored_here)
+            advanceToDetail(k, /*handoff=*/false);
+
+        const std::uint64_t detail_span =
+            std::min(plan.detail_uops, total_uops - meta.consumed_uops);
+        if (detail_span == 0)
+            break;
+
+        LimitStream seg(gen, detail_span);
+        core::Processor cpu(cfg, seg, sim,
+                            /*start_seq=*/meta.consumed_uops);
+
+        const bool traced =
+            opts.trace_interval >= 0 &&
+            static_cast<std::uint64_t>(opts.trace_interval) == k;
+        std::shared_ptr<obs::Recording> rec;
+        obs::ProbeBus bus;
+        if (traced) {
+            rec = std::make_shared<obs::Recording>(
+                opts.obs.ring_capacity, opts.obs.sample_every);
+            rec->meta["config"] = config.name;
+            rec->meta["suite"] = suite.name;
+            rec->meta["uops"] = std::to_string(total_uops);
+            rec->meta["seed"] = std::to_string(seed_override);
+            rec->meta["interval"] = std::to_string(k);
+            bus.attach(&rec->ring);
+            cpu.attachProbeBus(&bus);
+            if (opts.obs.sample_every > 0)
+                cpu.attachSampler(&rec->sampler);
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::ProcessorStats &s = cpu.run();
+        result.detail_wall_s += secondsSince(t0);
+
+        if (rec) {
+            rec->sampler.dropGauges();
+            rec->meta["cycles"] = std::to_string(s.cycles);
+            result.trace_json = obs::toChromeTrace(*rec);
+        }
+
+        cpu.exportState(sim);
+        core::accumulateStats(meta.stats, s);
+        meta.occupancy.merge(cpu.srlOccupancy());
+        meta.detail_done += seg.taken();
+        meta.consumed_uops = gen.emitted();
+        meta.next_interval = k + 1;
+        ++result.intervals_run;
+
+        result.interval_records.push_back(intervalRecord(k, s));
+    }
+
+    // Shard handoff: a shard that stops before the last interval also
+    // fast-forwards into (and checkpoints) the next shard's entry
+    // point, so a chain of shards needs no overlap to cover the run.
+    if (end_interval < num_intervals && !opts.ckpt_dir.empty() &&
+        end_interval * interval_len < total_uops &&
+        meta.next_interval == end_interval)
+        advanceToDetail(end_interval, /*handoff=*/true);
+
+    result.stats = meta.stats;
+    result.ff_uops = meta.ff_done;
+    result.warm_uops = meta.warm_done;
+    result.detail_uops = meta.detail_done;
+    result.final_digest =
+        core::snapshotDigest(ctx, meta, sim, gen.captureState());
+    result.record = aggregateRecord(config, suite, seed_override, plan,
+                                    meta, /*pipelined=*/false);
+    return result;
+}
+
+SampledResult
+runSampledPipelined(const core::ProcessorConfig &config,
+                    const workload::SuiteProfile &suite,
+                    std::uint64_t total_uops,
+                    std::uint64_t seed_override,
+                    const SampledOptions &opts)
+{
+    const SampledPlan &plan = opts.plan;
+    if (plan.detail_uops == 0)
+        throw std::invalid_argument(
+            "runSampledPipelined: plan.detail_uops must be > 0");
+    if (opts.shard_start != 0 ||
+        opts.shard_count != ~std::uint64_t{0})
+        throw std::invalid_argument(
+            "runSampledPipelined: sharding is a chained-mode feature "
+            "(pipelined runs cover the whole run)");
+
+    const std::uint64_t interval_len = plan.intervalUops();
+    const std::uint64_t num_intervals =
+        (total_uops + interval_len - 1) / interval_len;
+    const unsigned jobs = std::max(1u, opts.sample_jobs);
+    const std::size_t capacity =
+        opts.queue_capacity ? opts.queue_capacity
+                            : 2 * static_cast<std::size_t>(jobs) + 2;
+
+    // Seed plumbing as in the chained driver; ctx identifies the run
+    // inside every checkpoint payload the producer emits.
+    core::ProcessorConfig cfg = config;
+    if (seed_override)
+        cfg.snoop_seed = splitmix64(seed_override ^ cfg.snoop_seed);
+    const core::SnapshotContext ctx = core::makeSnapshotContext(
+        config, suite, total_uops, seed_override, plan.ff_uops,
+        plan.warm_uops, plan.detail_uops);
+
+    // Producer-side state lives on this frame so the final digest can
+    // be computed after every thread has been joined.
+    workload::Generator gen(suite, total_uops, seed_override);
+    core::SimState sim(cfg);
+    core::FastForwardEngine ff(sim);
+    core::SnapshotMeta pmeta; // producer cursor (stats stay zero)
+    CkptRetention retention(opts.ckpt_keep_last);
+    std::vector<std::string> ckpts_saved;
+    double producer_wall_s = 0.0;
+
+    Pipeline pipe(capacity);
+    SampledResult result;
+
+    // ---- producer: continuous fast-forward + snapshot emission ----
+    const auto producerFn = [&]() {
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            workload::prewarmCaches(suite, sim.hier);
+            for (std::uint64_t k = 0; k < num_intervals; ++k) {
+                const std::uint64_t base = k * interval_len;
+                const std::uint64_t ff_span =
+                    std::min(plan.ff_uops, total_uops - base);
+                const std::uint64_t warm_span = std::min(
+                    plan.warm_uops, total_uops - base - ff_span);
+                pmeta.ff_done += ff.run(gen, ff_span, /*warm=*/false);
+                pmeta.warm_done +=
+                    ff.run(gen, warm_span, /*warm=*/true);
+                pmeta.consumed_uops = gen.emitted();
+                pmeta.next_interval = k;
+                const std::uint64_t detail_span = std::min(
+                    plan.detail_uops, total_uops - pmeta.consumed_uops);
+                if (detail_span == 0)
+                    break;
+
+                // Each interval draws snoops from its own derived
+                // cursor: intervals are independent units of work, so
+                // no cursor chains through the detailed segments.
+                sim.snoop_rng_state =
+                    pipelinedSnoopCursor(cfg.snoop_seed, k);
+                sim.snoop_payload = (k + 1) << 32;
+
+                std::string payload = core::buildSnapshotPayload(
+                    ctx, pmeta, sim, gen.captureState(),
+                    pipe.buffer());
+                if (!opts.ckpt_dir.empty()) {
+                    const std::string path =
+                        opts.ckpt_dir + "/" +
+                        core::snapshotFileName(ctx, k,
+                                               /*pipelined=*/true);
+                    core::writeSnapshotPayload(path, payload);
+                    ckpts_saved.push_back(path);
+                    retention.saved(path, /*pinned=*/false);
+                }
+                if (!pipe.push(WorkItem{k, detail_span,
+                                        pmeta.consumed_uops,
+                                        std::move(payload)}))
+                    break; // aborted
+
+                // Advance through the detail span functionally (with
+                // warming) so interval k+1's entry state has seen it;
+                // the workers' detailed runs of the span never feed
+                // back. These uops are accounted as detail coverage
+                // by the workers, not as ff/warm.
+                ff.run(gen, detail_span, /*warm=*/true);
+            }
+            producer_wall_s = secondsSince(t0);
+        } catch (...) {
+            pipe.fail(std::current_exception());
+        }
+        pipe.finishProducing();
+    };
+
+    // ---- detail workers: adopt a checkpoint, run the interval ----
+    const auto workerFn = [&]() {
+        try {
+            core::SimState wsim(cfg);
+            workload::Generator wgen(suite, total_uops, seed_override);
+            WorkItem item;
+            while (pipe.pop(item)) {
+                if (opts.worker_start_hook)
+                    opts.worker_start_hook(item.interval);
+                const core::LoadedSnapshot loaded =
+                    core::adoptSnapshotPayload(item.payload, ctx,
+                                               wsim);
+                wgen.restoreState(loaded.gen);
+                pipe.recycle(std::move(item.payload));
+
+                LimitStream seg(wgen, item.detail_span);
+                core::Processor cpu(cfg, seg, wsim,
+                                    /*start_seq=*/item.start_seq);
+
+                const bool traced =
+                    opts.trace_interval >= 0 &&
+                    static_cast<std::uint64_t>(opts.trace_interval) ==
+                        item.interval;
+                std::shared_ptr<obs::Recording> rec;
+                obs::ProbeBus bus;
+                if (traced) {
+                    rec = std::make_shared<obs::Recording>(
+                        opts.obs.ring_capacity,
+                        opts.obs.sample_every);
+                    rec->meta["config"] = config.name;
+                    rec->meta["suite"] = suite.name;
+                    rec->meta["uops"] = std::to_string(total_uops);
+                    rec->meta["seed"] =
+                        std::to_string(seed_override);
+                    rec->meta["interval"] =
+                        std::to_string(item.interval);
+                    bus.attach(&rec->ring);
+                    cpu.attachProbeBus(&bus);
+                    if (opts.obs.sample_every > 0)
+                        cpu.attachSampler(&rec->sampler);
+                }
+
+                const auto t0 = std::chrono::steady_clock::now();
+                const core::ProcessorStats &s = cpu.run();
+
+                IntervalOutcome out;
+                out.wall_s = secondsSince(t0);
+                out.stats = s;
+                out.occupancy = cpu.srlOccupancy();
+                out.taken = seg.taken();
+                if (rec) {
+                    rec->sampler.dropGauges();
+                    rec->meta["cycles"] = std::to_string(s.cycles);
+                    out.trace_json = obs::toChromeTrace(*rec);
+                }
+                pipe.post(item.interval, std::move(out));
+            }
+        } catch (...) {
+            pipe.fail(std::current_exception());
+        }
+    };
+
+    // ---- run the pipeline; this thread is the stitcher ----
+    core::SnapshotMeta meta; // aggregate, assembled in interval order
+    {
+        std::thread producer(producerFn);
+        {
+            ThreadPool workers(jobs);
+            for (unsigned i = 0; i < jobs; ++i)
+                workers.submit(workerFn);
+
+            IntervalOutcome out;
+            for (std::uint64_t k = 0; pipe.await(k, out); ++k) {
+                core::accumulateStats(meta.stats, out.stats);
+                meta.occupancy.merge(out.occupancy);
+                meta.detail_done += out.taken;
+                meta.next_interval = k + 1;
+                result.detail_wall_s += out.wall_s;
+                ++result.intervals_run;
+                result.interval_records.push_back(
+                    intervalRecord(k, out.stats));
+                if (!out.trace_json.empty())
+                    result.trace_json = std::move(out.trace_json);
+            }
+            workers.wait();
+        } // joins the worker threads
+        producer.join();
+    }
+    pipe.rethrowIfFailed();
+
+    // Cursor totals come from the producer; its state (which has
+    // fast-forwarded the entire stream) anchors the final digest.
+    meta.ff_done = pmeta.ff_done;
+    meta.warm_done = pmeta.warm_done;
+    meta.consumed_uops = gen.emitted();
+
+    result.stats = meta.stats;
+    result.ff_uops = meta.ff_done;
+    result.warm_uops = meta.warm_done;
+    result.detail_uops = meta.detail_done;
+    result.ff_wall_s = producer_wall_s;
+    result.ckpts_saved = std::move(ckpts_saved);
+    result.final_digest =
+        core::snapshotDigest(ctx, meta, sim, gen.captureState());
+    result.record = aggregateRecord(config, suite, seed_override, plan,
+                                    meta, /*pipelined=*/true);
     return result;
 }
 

@@ -29,7 +29,9 @@
 #ifndef SRLSIM_RUNNER_SAMPLED_HH
 #define SRLSIM_RUNNER_SAMPLED_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,6 +86,48 @@ struct SampledOptions
      */
     std::int64_t trace_interval = -1;
     obs::ObsConfig obs;
+
+    /**
+     * Pipelined parallel execution (DESIGN.md §15). 0 (the default)
+     * keeps the chained serial interval loop above. >= 1 switches to
+     * *independent-interval* semantics: a producer thread runs the
+     * functional/warm fast-forward continuously over the whole
+     * stream, snapshotting the state at every detail-entry point into
+     * an in-memory byte buffer; a pool of this many detail workers
+     * each adopt a snapshot into a private SimState and run their
+     * interval; a stitcher assembles per-interval records in interval
+     * order. Results are byte-identical for every value >= 1 (stats
+     * JSON, trace, final digest) — but deliberately *not* identical
+     * to the chained mode, whose intervals feed each other's
+     * microarchitectural state and therefore cannot overlap.
+     * Pipelined runs do not support sharding (shard_start must be 0).
+     */
+    unsigned sample_jobs = 0;
+
+    /**
+     * Pipelined mode: bound on snapshots buffered between the
+     * producer and the detail workers. The producer blocks when the
+     * queue is full (backpressure), so a slow worker pool never makes
+     * the run accumulate unbounded state. 0 = 2 * sample_jobs + 2.
+     */
+    std::size_t queue_capacity = 0;
+
+    /**
+     * Checkpoint-directory retention: keep only the most recent K
+     * interval checkpoints written by this run (0 = keep all, the
+     * default). The shard-handoff checkpoint — the next shard's entry
+     * point — is always kept regardless of K.
+     */
+    std::uint64_t ckpt_keep_last = 0;
+
+    /**
+     * Test-only hook, pipelined mode: a detail worker invokes this
+     * with the interval number just before simulating it. Used to
+     * inject slow (or failing) workers in the backpressure stress
+     * tests. Must be thread-safe; an exception thrown here aborts the
+     * run like any other worker failure.
+     */
+    std::function<void(std::uint64_t)> worker_start_hook;
 };
 
 /** Everything a sampled run produces. */
@@ -105,7 +149,13 @@ struct SampledResult
     std::uint64_t detail_uops = 0; ///< uops simulated in detail
     std::uint64_t intervals_run = 0;
 
-    /** Host wall-clock split (seconds). */
+    /**
+     * Host wall-clock split (seconds). In pipelined mode ff_wall_s is
+     * the producer thread's total wall (fast-forward + snapshot
+     * serialization) and detail_wall_s is the *sum* of per-worker
+     * interval walls; the two overlap, so they exceed the end-to-end
+     * wall time by design.
+     */
     double ff_wall_s = 0.0;
     double detail_wall_s = 0.0;
 
@@ -122,12 +172,30 @@ struct SampledResult
  * @p seed_override replaces the suite's workload seed and re-keys the
  * snoop stream. Throws core::SnapshotError on checkpoint problems and
  * std::invalid_argument on a malformed plan/shard.
+ *
+ * With opts.sample_jobs >= 1 this dispatches to
+ * runSampledPipelined().
  */
 SampledResult runSampled(const core::ProcessorConfig &config,
                          const workload::SuiteProfile &suite,
                          std::uint64_t total_uops,
                          std::uint64_t seed_override,
                          const SampledOptions &opts);
+
+/**
+ * Pipelined, multi-worker sampled run (independent-interval
+ * semantics, DESIGN.md §15): fast-forward producer + sample_jobs
+ * detail workers + in-order stitcher. opts.sample_jobs of 0 is
+ * treated as 1. Results are byte-identical across every worker
+ * count; runSampled() dispatches here when opts.sample_jobs >= 1.
+ * @throws std::invalid_argument on a malformed plan or a sharded
+ * request (pipelined runs cover the whole run).
+ */
+SampledResult runSampledPipelined(const core::ProcessorConfig &config,
+                                  const workload::SuiteProfile &suite,
+                                  std::uint64_t total_uops,
+                                  std::uint64_t seed_override,
+                                  const SampledOptions &opts);
 
 } // namespace runner
 } // namespace srl

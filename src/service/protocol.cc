@@ -96,6 +96,8 @@ PointSpec::toJson() const
     if (shard_count)
         v.set("shard_count",
               json::Value::number(static_cast<double>(shard_count)));
+    if (pipelined)
+        v.set("pipelined", json::Value::boolean(true));
     return v;
 }
 
@@ -126,6 +128,7 @@ PointSpec::fromJson(const json::Value &v)
     p.detail_uops = v.getU64("detail_uops", 0);
     p.shard_start = v.getU64("shard_start", 0);
     p.shard_count = v.getU64("shard_count", 0);
+    p.pipelined = v.getBool("pipelined", false);
     return p;
 }
 

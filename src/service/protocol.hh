@@ -86,6 +86,17 @@ struct PointSpec
     std::uint64_t shard_start = 0;
     std::uint64_t shard_count = 0;
 
+    /**
+     * Request pipelined independent-interval sampling semantics
+     * (DESIGN.md §15) instead of the chained interval loop. Changes
+     * the results — so it is part of the cache key — but the *worker
+     * count* the daemon uses is a server-side knob
+     * (ServiceOptions::sample_jobs): pipelined results are
+     * byte-identical at any worker count, so the count never appears
+     * on the wire or in the key. Incompatible with a shard window.
+     */
+    bool pipelined = false;
+
     bool
     sampled() const
     {

@@ -97,13 +97,15 @@ SweepService::runJob(Job job)
                               job.spec.ff_uops, job.spec.warm_uops,
                               job.spec.detail_uops,
                               job.spec.shard_start,
-                              job.spec.shard_count);
+                              job.spec.shard_count,
+                              job.spec.pipelined);
         const PointSpec &spec = job.spec;
         const std::string &ckpt_dir = opts_.ckpt_dir;
+        const unsigned sample_jobs = opts_.sample_jobs;
         ResultCache::GetResult got = cache_.getOrCompute(
             key,
             [&cfg, &suite, uops, run_seed, occupancy, &spec,
-             &ckpt_dir] {
+             &ckpt_dir, sample_jobs] {
                 if (spec.sampled()) {
                     runner::SampledOptions sopts;
                     sopts.plan.ff_uops = spec.ff_uops;
@@ -113,6 +115,11 @@ SweepService::runJob(Job job)
                     sopts.shard_start = spec.shard_start;
                     if (spec.shard_count)
                         sopts.shard_count = spec.shard_count;
+                    // Worker count is a daemon knob, never part of
+                    // the key: pipelined results are jobs-invariant.
+                    if (spec.pipelined)
+                        sopts.sample_jobs =
+                            sample_jobs ? sample_jobs : 1;
                     return runner::runSampled(cfg, suite, uops,
                                               run_seed, sopts)
                         .record;

@@ -64,6 +64,14 @@ struct ServiceOptions
      * requests then fail loudly).
      */
     std::string ckpt_dir;
+    /**
+     * Detail-worker count for pipelined sampled points
+     * (PointSpec::pipelined): how many concurrent detailed intervals
+     * one pipelined run uses. Purely a server-side throughput knob —
+     * pipelined results are byte-identical at any value, so it is not
+     * part of the cache key. 0 = 1 (serial pipelined).
+     */
+    unsigned sample_jobs = 0;
 };
 
 class SweepService

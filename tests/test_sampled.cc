@@ -294,6 +294,55 @@ TEST(Sampled, ShardingNeverSilentlyFallsBackToFastForward)
                  std::invalid_argument);
 }
 
+TEST(Sampled, RetentionPrunesIntervalsButPinsTheHandoff)
+{
+    // ckpt_keep_last bounds the on-disk interval checkpoints of one
+    // run, but the shard-handoff checkpoint — the next shard's entry
+    // point — must survive any K, or a bounded-retention shard chain
+    // could never be resumed.
+    const auto suite = workload::suiteProfile("SFP2K");
+    const core::ProcessorConfig cfg = core::srlConfig();
+    TempDir dir;
+
+    runner::SampledOptions head = planOpts();
+    head.ckpt_dir = dir.path;
+    head.shard_start = 0;
+    head.shard_count = 3;
+    head.ckpt_keep_last = 1;
+    const auto r_head =
+        runner::runSampled(cfg, suite, kTotal, kSeed, head);
+    // Entry checkpoints 0,1,2 written, plus the pinned handoff for
+    // interval 3.
+    ASSERT_EQ(r_head.ckpts_saved.size(), 4u);
+
+    // Retention boundary: of the three prunable entry checkpoints
+    // only the most recent (interval 2) survives, and the handoff is
+    // untouched — exactly two files on disk.
+    std::size_t remaining = 0;
+    if (DIR *d = opendir(dir.path.c_str())) {
+        while (const dirent *e = readdir(d)) {
+            const std::string n = e->d_name;
+            if (n != "." && n != "..")
+                ++remaining;
+        }
+        closedir(d);
+    }
+    EXPECT_EQ(remaining, 2u);
+
+    // The tail shard restores from the pinned handoff and matches the
+    // straight run — retention never breaks the chain.
+    runner::SampledOptions tail = planOpts();
+    tail.ckpt_dir = dir.path;
+    tail.shard_start = 3;
+    const auto r_tail =
+        runner::runSampled(cfg, suite, kTotal, kSeed, tail);
+    const auto r_full =
+        runner::runSampled(cfg, suite, kTotal, kSeed, planOpts());
+    EXPECT_EQ(recordJson(r_full.record), recordJson(r_tail.record));
+    EXPECT_EQ(r_full.final_digest.lo, r_tail.final_digest.lo);
+    EXPECT_EQ(r_full.final_digest.hi, r_tail.final_digest.hi);
+}
+
 TEST(Sampled, WarmingActuallyWarms)
 {
     // The warm span exists to cut cold-start misses in the detailed

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory report over the committed baselines.
+
+Walks the git history of every bench/baselines/BENCH_*.json file and
+emits a per-bench, per-commit table of throughput (uops_per_s), so the
+performance trajectory of the repo is readable at a glance instead of
+buried in `git log -p`. Each baseline file is read at every commit that
+touched it; the row key is the *repo* commit that committed the
+baseline (its short hash + subject), and the cells are that bench's
+throughput as of that commit.
+
+Usage:
+    tools/bench_report.py [--format markdown|csv] [--repo DIR]
+        [--baselines-dir bench/baselines] [--out FILE]
+
+With --format markdown (default) the table is GitHub-flavoured
+markdown, suitable for pasting into README.md's Performance section
+(README embeds the committed snapshot between the
+`<!-- bench-report:begin -->` / `<!-- bench-report:end -->` markers;
+regenerate with `tools/bench_report.py --update-readme`). CSV emits
+one row per (commit, bench) pair for spreadsheet import.
+
+Exit status: 0 = ok, 2 = bad input / not a git repo.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+MARK_BEGIN = "<!-- bench-report:begin -->"
+MARK_END = "<!-- bench-report:end -->"
+
+
+def run_git(repo, *args):
+    """Run a git command in @repo, returning stdout ('' on failure)."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo, *args],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout
+    except (OSError, subprocess.CalledProcessError):
+        return ""
+
+
+def baseline_files(repo, baselines_dir):
+    """Baseline JSON paths (repo-relative) known to git, plus any
+    currently checked out (a fresh baseline not yet committed shows up
+    with commit 'worktree')."""
+    tracked = set()
+    listing = run_git(repo, "ls-files", baselines_dir)
+    for line in listing.splitlines():
+        base = os.path.basename(line)
+        if base.startswith("BENCH_") and base.endswith(".json"):
+            tracked.add(line)
+    try:
+        for name in os.listdir(os.path.join(repo, baselines_dir)):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                tracked.add(os.path.join(baselines_dir, name))
+    except OSError:
+        pass
+    return sorted(tracked)
+
+
+def history(repo, path):
+    """[(commit_hash, short, subject)] touching @path, oldest first."""
+    log = run_git(
+        repo, "log", "--follow", "--format=%H\x1f%h\x1f%s", "--", path
+    )
+    rows = []
+    for line in log.splitlines():
+        parts = line.split("\x1f")
+        if len(parts) == 3:
+            rows.append(tuple(parts))
+    rows.reverse()
+    return rows
+
+
+def show_json(repo, commit, path):
+    """Parse @path's JSON as of @commit; None when unreadable."""
+    blob = run_git(repo, "show", f"{commit}:{path}")
+    if not blob:
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def read_worktree_json(repo, path):
+    try:
+        with open(os.path.join(repo, path), encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def collect(repo, baselines_dir):
+    """Gather the trajectory.
+
+    Returns (bench_names, rows) where rows is a list of
+    {"commit": short, "subject": str, "order": int,
+     "cells": {bench: uops_per_s}} oldest first — one row per repo
+    commit that changed at least one baseline.
+    """
+    commit_order = {}  # full hash -> position in repo history
+    full_log = run_git(repo, "log", "--reverse", "--format=%H")
+    for i, line in enumerate(full_log.splitlines()):
+        commit_order[line] = i
+
+    benches = []
+    rows_by_commit = {}
+
+    def row_for(full, short, subject, order):
+        if full not in rows_by_commit:
+            rows_by_commit[full] = {
+                "commit": short,
+                "subject": subject,
+                "order": order,
+                "cells": {},
+            }
+        return rows_by_commit[full]
+
+    for path in baseline_files(repo, baselines_dir):
+        committed = False
+        for full, short, subject in history(repo, path):
+            data = show_json(repo, full, path)
+            if data is None or "uops_per_s" not in data:
+                continue
+            committed = True
+            bench = data.get(
+                "bench",
+                os.path.basename(path)[len("BENCH_") : -len(".json")],
+            )
+            if bench not in benches:
+                benches.append(bench)
+            row = row_for(
+                full, short, subject, commit_order.get(full, 1 << 30)
+            )
+            row["cells"][bench] = float(data["uops_per_s"])
+        if not committed:
+            data = read_worktree_json(repo, path)
+            if data is None or "uops_per_s" not in data:
+                continue
+            bench = data.get(
+                "bench",
+                os.path.basename(path)[len("BENCH_") : -len(".json")],
+            )
+            if bench not in benches:
+                benches.append(bench)
+            row = row_for("WORKTREE", "worktree", "(uncommitted)", 1 << 31)
+            row["cells"][bench] = float(data["uops_per_s"])
+
+    rows = sorted(rows_by_commit.values(), key=lambda r: r["order"])
+    return sorted(benches), rows
+
+
+def fmt_rate(v):
+    if v is None:
+        return ""
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}k"
+    return f"{v:.0f}"
+
+
+def to_markdown(benches, rows):
+    lines = []
+    header = ["commit", "change"] + benches
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join(["---"] * len(header)) + "|")
+    for row in rows:
+        subject = row["subject"]
+        if len(subject) > 48:
+            subject = subject[:45] + "..."
+        cells = [row["commit"], subject]
+        for b in benches:
+            cells.append(fmt_rate(row["cells"].get(b)))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append(
+        "Cells are model throughput (uops/s) from the committed "
+        "`bench/baselines/BENCH_*.json` at that commit; blank = bench "
+        "did not exist yet. Regenerate with `tools/bench_report.py`."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(benches, rows):
+    lines = ["commit,subject,bench,uops_per_s"]
+    for row in rows:
+        subject = row["subject"].replace('"', '""')
+        for b in benches:
+            v = row["cells"].get(b)
+            if v is None:
+                continue
+            lines.append(f'{row["commit"]},"{subject}",{b},{v}')
+    return "\n".join(lines) + "\n"
+
+
+def update_readme(repo, table):
+    path = os.path.join(repo, "README.md")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"bench_report: cannot read README.md: {e}", file=sys.stderr)
+        return False
+    begin = text.find(MARK_BEGIN)
+    end = text.find(MARK_END)
+    if begin < 0 or end < 0 or end < begin:
+        print(
+            f"bench_report: README.md lacks {MARK_BEGIN}/{MARK_END} "
+            "markers",
+            file=sys.stderr,
+        )
+        return False
+    new = (
+        text[: begin + len(MARK_BEGIN)]
+        + "\n"
+        + table
+        + text[end:]
+    )
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(new)
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Per-bench per-commit throughput trajectory "
+        "from the committed baselines."
+    )
+    ap.add_argument(
+        "--format", choices=("markdown", "csv"), default="markdown"
+    )
+    ap.add_argument("--repo", default=".")
+    ap.add_argument("--baselines-dir", default="bench/baselines")
+    ap.add_argument("--out", default="-", help="output file ('-' = stdout)")
+    ap.add_argument(
+        "--update-readme",
+        action="store_true",
+        help="rewrite the table between the bench-report markers "
+        "in README.md (markdown format only)",
+    )
+    args = ap.parse_args()
+
+    if not run_git(args.repo, "rev-parse", "--git-dir"):
+        print(f"bench_report: {args.repo} is not a git repo", file=sys.stderr)
+        return 2
+
+    benches, rows = collect(args.repo, args.baselines_dir)
+    if not benches:
+        print("bench_report: no baselines found", file=sys.stderr)
+        return 2
+
+    table = (
+        to_markdown(benches, rows)
+        if args.format == "markdown"
+        else to_csv(benches, rows)
+    )
+
+    if args.update_readme:
+        if args.format != "markdown":
+            print(
+                "bench_report: --update-readme needs markdown",
+                file=sys.stderr,
+            )
+            return 2
+        return 0 if update_readme(args.repo, table) else 2
+
+    if args.out == "-":
+        sys.stdout.write(table)
+    else:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
